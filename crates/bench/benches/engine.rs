@@ -1,0 +1,95 @@
+//! Microbenchmarks of the simulation substrate: event-queue throughput,
+//! RNG, and raw packet-forwarding rate. These guard the simulator's
+//! performance envelope (datacenter figures push ~10^8 events).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dcsim::{BitRate, Bytes, DetRng, EventQueue, Nanos, Simulation};
+use faircc::{AckFeedback, CcMode, CongestionControl, SenderLimits};
+use netsim::{FlowSpec, MonitorConfig, NetBuilder, NetConfig};
+
+struct FixedRate(BitRate);
+impl CongestionControl for FixedRate {
+    fn on_ack(&mut self, _: &AckFeedback) {}
+    fn limits(&self) -> SenderLimits {
+        SenderLimits::rate_based(self.0)
+    }
+    fn mode(&self) -> CcMode {
+        CcMode::Rate
+    }
+    fn name(&self) -> &str {
+        "fixed"
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.push(Nanos(i * 7919 % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc ^= e;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("chance_100k", |b| {
+        let mut rng = DetRng::new(7);
+        b.iter(|| {
+            let mut n = 0u32;
+            for _ in 0..100_000 {
+                n += rng.chance(0.05) as u32;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forwarding");
+    // One 1 MB flow through host-switch-host = ~1000 packets + ACKs,
+    // ~8000 events.
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("one_mb_flow_packets", |b| {
+        b.iter(|| {
+            let mut builder = NetBuilder::new();
+            let h0 = builder.add_host();
+            let h1 = builder.add_host();
+            let sw = builder.add_switch();
+            builder.link(h0, sw, BitRate::from_gbps(100), Nanos::MICRO);
+            builder.link(h1, sw, BitRate::from_gbps(100), Nanos::MICRO);
+            let mut net = builder.build(NetConfig::default(), MonitorConfig::default());
+            net.add_flow(
+                FlowSpec {
+                    src: h0,
+                    dst: h1,
+                    size: Bytes::from_mb(1),
+                    start: Nanos::ZERO,
+                },
+                Box::new(FixedRate(BitRate::from_gbps(100))),
+            );
+            let mut sim = Simulation::new(net);
+            {
+                let (w, q) = sim.split_mut();
+                w.prime(q);
+            }
+            sim.run();
+            black_box(sim.events_handled())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_forwarding);
+criterion_main!(benches);

@@ -1,0 +1,245 @@
+//! One Criterion benchmark per paper figure (scaled-down inputs so the
+//! whole suite completes in minutes — the full regeneration lives in the
+//! `repro` binary).
+//!
+//! * `fig1/fig2/fig3/fig5/fig6/fig8/fig9` — incast kernels (8-1, smaller
+//!   flows) per protocol/variant.
+//! * `fig4` — the fluid-model integration at full fidelity.
+//! * `fig10-fig13` — datacenter kernel (tiny fat-tree, short horizon) for
+//!   the Hadoop and WebSearch+Storage mixes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dcsim::{Bytes, Nanos};
+use fairsim::{CcSpec, DatacenterScenario, IncastScenario, ProtocolKind, Variant};
+use netsim::FatTreeConfig;
+use workloads::{distributions, IncastConfig};
+
+fn incast_kernel(cc: CcSpec) -> usize {
+    let sc = IncastScenario {
+        incast: IncastConfig {
+            senders: 8,
+            flow_size: Bytes::from_kb(250),
+            flows_per_interval: 2,
+            interval: Nanos::from_micros(20),
+        },
+        cc,
+        seed: 42,
+        sample_interval: Nanos::from_micros(10),
+        horizon: Nanos::from_millis(10),
+    };
+    let res = sc.run();
+    assert!(res.all_finished);
+    res.fcts.len()
+}
+
+fn datacenter_kernel(cc: CcSpec, workload_names: &[&str]) -> usize {
+    let sc = DatacenterScenario {
+        fat_tree: FatTreeConfig {
+            pods: 2,
+            tors_per_pod: 1,
+            aggs_per_pod: 1,
+            hosts_per_tor: 4,
+            spines: 1,
+            ..FatTreeConfig::reduced()
+        },
+        workloads: workload_names.iter().map(|s| s.to_string()).collect(),
+        load: 0.4,
+        horizon: Nanos::from_micros(200),
+        cc,
+        seed: 42,
+    };
+    sc.run().completed
+}
+
+fn bench_incast_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("incast_figures");
+    g.sample_size(10);
+    // Figures 1-3: the baselines.
+    for (fig, kind, variant) in [
+        ("fig1_hpcc_default", ProtocolKind::Hpcc, Variant::Default),
+        ("fig1_hpcc_1gbps", ProtocolKind::Hpcc, Variant::HighAi),
+        ("fig1_hpcc_prob", ProtocolKind::Hpcc, Variant::Probabilistic),
+        ("fig1_swift_default", ProtocolKind::Swift, Variant::Default),
+        ("fig2_hpcc_scatter", ProtocolKind::Hpcc, Variant::Default),
+        ("fig3_swift_scatter", ProtocolKind::Swift, Variant::Default),
+        // Figures 5/6/8/9: the paper's mechanisms.
+        ("fig5_hpcc_vai_sf", ProtocolKind::Hpcc, Variant::VaiSf),
+        ("fig6_swift_vai_sf", ProtocolKind::Swift, Variant::VaiSf),
+        ("fig8_hpcc_vai_sf", ProtocolKind::Hpcc, Variant::VaiSf),
+        ("fig9_swift_vai_sf", ProtocolKind::Swift, Variant::VaiSf),
+    ] {
+        g.bench_function(fig, |b| {
+            b.iter(|| black_box(incast_kernel(CcSpec::new(kind, variant))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fluid_figure(c: &mut Criterion) {
+    c.bench_function("fig4_fluid_integration", |b| {
+        b.iter(|| {
+            let p = fluid::FluidParams::figure4();
+            black_box(fluid::integrate(&p, 600_000.0, 5.0, 100))
+        })
+    });
+}
+
+fn bench_datacenter_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datacenter_figures");
+    g.sample_size(10);
+    for (fig, kind, variant, wl) in [
+        (
+            "fig10_hadoop_hpcc",
+            ProtocolKind::Hpcc,
+            Variant::Default,
+            vec![distributions::FB_HADOOP],
+        ),
+        (
+            "fig10_hadoop_hpcc_vai_sf",
+            ProtocolKind::Hpcc,
+            Variant::VaiSf,
+            vec![distributions::FB_HADOOP],
+        ),
+        (
+            "fig11_mix_swift",
+            ProtocolKind::Swift,
+            Variant::Default,
+            vec![distributions::WEBSEARCH, distributions::ALI_STORAGE],
+        ),
+        (
+            "fig12_hadoop_swift_vai_sf",
+            ProtocolKind::Swift,
+            Variant::VaiSf,
+            vec![distributions::FB_HADOOP],
+        ),
+        (
+            "fig13_mix_hpcc_vai_sf",
+            ProtocolKind::Hpcc,
+            Variant::VaiSf,
+            vec![distributions::WEBSEARCH, distributions::ALI_STORAGE],
+        ),
+    ] {
+        g.bench_function(fig, |b| {
+            b.iter(|| black_box(datacenter_kernel(CcSpec::new(kind, variant), &wl)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_extension_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extension_kernels");
+    g.sample_size(10);
+    // Timely on the small incast (ablation-timely kernel).
+    g.bench_function("ablation_timely_incast", |b| {
+        b.iter(|| {
+            black_box(incast_kernel(CcSpec::new(
+                ProtocolKind::Timely,
+                Variant::VaiSf,
+            )))
+        })
+    });
+    // Lossy mode: finite buffers + go-back-N recovery.
+    g.bench_function("lossy_go_back_n_incast", |b| {
+        use fairness_kernel::lossy_incast;
+        b.iter(|| black_box(lossy_incast()))
+    });
+    // Permutation replay through the TraceScenario runner.
+    g.bench_function("ablation_permutation_trace", |b| {
+        b.iter(|| {
+            let arrivals = workloads::permutation(
+                8,
+                Bytes::from_kb(250),
+                Nanos::ZERO,
+                7,
+            );
+            let res = fairsim::TraceScenario {
+                fat_tree: FatTreeConfig {
+                    pods: 2,
+                    tors_per_pod: 1,
+                    aggs_per_pod: 1,
+                    hosts_per_tor: 4,
+                    spines: 1,
+                    ..FatTreeConfig::reduced()
+                },
+                arrivals,
+                cc: CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+                seed: 7,
+                deadline: Nanos::from_millis(10),
+                sample_interval: None,
+            }
+            .run();
+            assert!(res.all_finished);
+            black_box(res.raw.len())
+        })
+    });
+    g.finish();
+}
+
+/// Small helper kept out of the hot closures.
+mod fairness_kernel {
+    use super::*;
+    use dcsim::{BitRate, Simulation};
+    use faircc::{AckFeedback, CcMode, CongestionControl, SenderLimits};
+    use netsim::{FlowSpec, MonitorConfig, NetBuilder, NetConfig};
+
+    struct FixedRate(BitRate);
+    impl CongestionControl for FixedRate {
+        fn on_ack(&mut self, _: &AckFeedback) {}
+        fn limits(&self) -> SenderLimits {
+            SenderLimits::rate_based(self.0)
+        }
+        fn mode(&self) -> CcMode {
+            CcMode::Rate
+        }
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    /// Two blasting flows through a 10 KB buffer: drops + recovery.
+    pub fn lossy_incast() -> u64 {
+        let mut b = NetBuilder::new();
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let h2 = b.add_host();
+        let sw = b.add_switch();
+        for h in [h0, h1, h2] {
+            b.link(h, sw, BitRate::from_gbps(100), Nanos::MICRO);
+        }
+        let mut net = b.build(
+            NetConfig {
+                switch_buffer: Some(Bytes::from_kb(10)),
+                ..NetConfig::default()
+            },
+            MonitorConfig::default(),
+        );
+        for src in [h0, h1] {
+            net.add_flow(
+                FlowSpec {
+                    src,
+                    dst: h2,
+                    size: Bytes::from_kb(200),
+                    start: Nanos::ZERO,
+                },
+                Box::new(FixedRate(BitRate::from_gbps(100))),
+            );
+        }
+        let mut sim = Simulation::new(net);
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
+        sim.run_until(Nanos::from_millis(20));
+        assert!(sim.world().all_finished());
+        sim.world().dropped_data_packets()
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_incast_figures,
+    bench_fluid_figure,
+    bench_datacenter_figures,
+    bench_extension_kernels
+);
+criterion_main!(benches);

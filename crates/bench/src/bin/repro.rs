@@ -1,0 +1,93 @@
+//! `repro` — regenerate the paper's figures.
+//!
+//! ```text
+//! repro <figure>... [--full-scale] [--seed N]
+//! repro all [--full-scale] [--seed N]
+//! repro list
+//! ```
+//!
+//! Figures: fig1-fig6, fig8-fig13 (fig7 is the topology diagram,
+//! reproduced as `netsim::topology::FatTreeConfig::paper()` and its unit
+//! tests), plus the ablations: `ablation-mechanisms` (VAI/SF/both),
+//! `ablation-sf` (cadence sweep), `ablation-dampener`,
+//! `ablation-hyper-ai` (Timely-style HAI on Swift), `ablation-timely`
+//! (mechanism generality), `ablation-permutation` (boundary of
+//! applicability), `ablation-sf-increases` (negative control),
+//! `ablation-degree` (incast-degree sweep), and `ablation-pfc`.
+//! `--json` emits machine-readable summaries for the fig* targets.
+//!
+//! Default scale runs the incast microbenchmarks exactly as in the paper
+//! and the fat-tree simulations at reduced scale (see DESIGN.md);
+//! `--full-scale` switches the fat-tree runs to the paper's 320 hosts and
+//! 50 ms (very slow).
+
+use bench::{run_figure, run_figure_json, Scale, ALL_FIGURES, DEFAULT_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Reduced;
+    let mut seed = DEFAULT_SEED;
+    let mut json = false;
+    let mut figures: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full-scale" => scale = Scale::Full,
+            "--json" => json = true,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "list" => {
+                for f in ALL_FIGURES {
+                    println!("{f}");
+                }
+                return;
+            }
+            "all" => figures.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
+            "-h" | "--help" => {
+                print_usage();
+                return;
+            }
+            other if other.starts_with('-') => {
+                die(&format!("unknown flag {other}"));
+            }
+            other => figures.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if figures.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+
+    for f in &figures {
+        let output = if json {
+            run_figure_json(f, scale, seed)
+        } else {
+            run_figure(f, scale, seed)
+        };
+        match output {
+            Some(output) => println!("{output}"),
+            None if json => die(&format!("figure '{f}' has no JSON form")),
+            None => die(&format!(
+                "unknown figure '{f}' (fig7 is the topology diagram; run `repro list`)"
+            )),
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: repro <figure>... [--full-scale] [--seed N] [--json] | repro all | repro list");
+    eprintln!("figures: {}", ALL_FIGURES.join(" "));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

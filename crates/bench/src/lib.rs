@@ -1,0 +1,958 @@
+//! Figure-regeneration library: one function per figure of the paper,
+//! each returning the rendered text block the `repro` binary prints.
+//!
+//! Every figure function takes a [`Scale`]: `Reduced` keeps the paper's
+//! incast microbenchmarks at full scale (they are cheap) but shrinks the
+//! fat-tree datacenter runs to laptop size; `Full` reproduces the paper's
+//! exact 320-host / 50 ms configuration (hours of CPU).
+
+#![warn(missing_docs)]
+
+use dcsim::Nanos;
+use fairsim::render::{f3, fmt_size, TextTable};
+use fairsim::scenarios::LONG_FLOW_BYTES;
+use fairsim::series::thin;
+use fairsim::{
+    CcSpec, DatacenterResult, DatacenterScenario, IncastResult, IncastScenario, ProtocolKind,
+    Variant,
+};
+use netsim::FatTreeConfig;
+use workloads::distributions;
+
+/// Experiment scale for the datacenter figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 32-host fat-tree, 2 ms of arrivals (default; minutes of CPU).
+    Reduced,
+    /// The paper's 320-host fat-tree, 50 ms of arrivals (hours of CPU).
+    Full,
+}
+
+/// Default seed used by the harness (override with `--seed`).
+pub const DEFAULT_SEED: u64 = 42;
+
+fn run_incasts(specs: &[CcSpec], senders: usize, seed: u64) -> Vec<IncastResult> {
+    // Variants are independent: run them on scoped threads.
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|&cc| {
+                s.spawn(move |_| IncastScenario::paper(senders, cc, seed).run())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scenario thread")).collect()
+    })
+    .expect("crossbeam scope")
+}
+
+fn run_datacenters(
+    specs: &[CcSpec],
+    workload_names: &[&str],
+    scale: Scale,
+    seed: u64,
+) -> Vec<DatacenterResult> {
+    let make = |cc: CcSpec| {
+        let names: Vec<String> = workload_names.iter().map(|s| s.to_string()).collect();
+        match scale {
+            Scale::Reduced => DatacenterScenario::reduced(names, cc, seed),
+            Scale::Full => DatacenterScenario {
+                fat_tree: FatTreeConfig::paper(),
+                workloads: names,
+                load: 0.5,
+                horizon: Nanos::from_millis(50),
+                cc,
+                seed,
+            },
+        }
+    };
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|&cc| s.spawn(move |_| make(cc).run()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scenario thread")).collect()
+    })
+    .expect("crossbeam scope")
+}
+
+/// The variant set the paper's incast figures compare, per protocol.
+fn incast_specs(kind: ProtocolKind, with_vai_sf: bool) -> Vec<CcSpec> {
+    let mut v = vec![
+        CcSpec::new(kind, Variant::Default),
+        CcSpec::new(kind, Variant::HighAi),
+        CcSpec::new(kind, Variant::Probabilistic),
+    ];
+    if with_vai_sf {
+        v.push(CcSpec::new(kind, Variant::VaiSf));
+    }
+    v
+}
+
+/// Render Jain-index and queue-depth tables for a set of incast results.
+fn render_jain_queue(title: &str, results: &[IncastResult], rows: usize) -> String {
+    let mut out = format!("== {title} ==\n\n");
+
+    let mut header = vec!["t(us)".to_string()];
+    header.extend(results.iter().map(|r| format!("jain[{}]", r.label)));
+    let mut jain_tbl = TextTable::new(header);
+    let base = thin(&results[0].jain, rows);
+    for &(t, _) in &base {
+        let mut cells = vec![format!("{t:.0}")];
+        for r in results {
+            let v = r
+                .jain
+                .iter()
+                .min_by(|a, b| {
+                    (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).expect("no NaN")
+                })
+                .map(|&(_, j)| j);
+            cells.push(v.map(f3).unwrap_or_else(|| "-".into()));
+        }
+        jain_tbl.row(cells);
+    }
+    out.push_str(&jain_tbl.render());
+
+    let mut header = vec!["t(us)".to_string()];
+    header.extend(results.iter().map(|r| format!("queueKB[{}]", r.label)));
+    let mut q_tbl = TextTable::new(header);
+    let base = thin(&results[0].queue, rows);
+    for &(t, _) in &base {
+        let mut cells = vec![format!("{t:.0}")];
+        for r in results {
+            let v = r
+                .queue
+                .iter()
+                .min_by(|a, b| {
+                    (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).expect("no NaN")
+                })
+                .map(|&(_, q)| q);
+            cells.push(v.map(|q| format!("{:.1}", q as f64 / 1e3)).unwrap_or_else(|| "-".into()));
+        }
+        q_tbl.row(cells);
+    }
+    out.push('\n');
+    out.push_str(&q_tbl.render());
+
+    out.push_str("\nSummary (per variant):\n");
+    let mut s = TextTable::new(vec![
+        "variant",
+        "converge@0.9(us)",
+        "unfairness integral",
+        "peak queue(KB)",
+        "mean queue(KB)",
+        "finish spread(us)",
+        "all finished",
+    ]);
+    for r in results {
+        s.row(vec![
+            r.label.clone(),
+            r.convergence_time(0.9)
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "never".into()),
+            format!("{:.0}", r.unfairness_integral()),
+            format!("{:.1}", r.peak_queue() as f64 / 1e3),
+            format!("{:.1}", r.mean_queue() / 1e3),
+            format!("{:.0}", r.finish_spread_us()),
+            r.all_finished.to_string(),
+        ]);
+    }
+    out.push_str(&s.render());
+    out
+}
+
+/// Render a start-vs-finish scatter as a table.
+fn render_start_finish(title: &str, results: &[IncastResult]) -> String {
+    let mut out = format!("== {title} ==\n\n");
+    let mut header = vec!["flow".to_string(), "start(us)".to_string()];
+    header.extend(results.iter().map(|r| format!("finish(us)[{}]", r.label)));
+    let mut tbl = TextTable::new(header);
+    let base = results[0].start_finish();
+    for (i, &(start, _)) in base.iter().enumerate() {
+        let mut cells = vec![format!("{i}"), format!("{start:.0}")];
+        for r in results {
+            let sf = r.start_finish();
+            cells.push(
+                sf.get(i)
+                    .map(|&(_, f)| format!("{f:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        tbl.row(cells);
+    }
+    out.push_str(&tbl.render());
+    out.push_str("\nFinish spread (last - first completion):\n");
+    for r in results {
+        out.push_str(&format!("  {:<22} {:>8.0} us\n", r.label, r.finish_spread_us()));
+    }
+    out
+}
+
+/// Figure 1: Jain index and queue depth, 16-1 incast, HPCC and Swift
+/// baselines (default / 1 Gbps AI / probabilistic).
+pub fn fig1(seed: u64) -> String {
+    let mut out = String::new();
+    for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift] {
+        let results = run_incasts(&incast_specs(kind, false), 16, seed);
+        let name = if kind == ProtocolKind::Hpcc {
+            "Fig 1(a,b): 16-1 incast, HPCC"
+        } else {
+            "Fig 1(c,d): 16-1 incast, Swift"
+        };
+        out.push_str(&render_jain_queue(name, &results, 30));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 2: start vs finish, 16-1 staggered incast, HPCC baselines.
+pub fn fig2(seed: u64) -> String {
+    let results = run_incasts(&incast_specs(ProtocolKind::Hpcc, false), 16, seed);
+    render_start_finish("Fig 2: start vs finish, 16-1 incast, HPCC", &results)
+}
+
+/// Figure 3: start vs finish, 16-1 staggered incast, Swift baselines.
+pub fn fig3(seed: u64) -> String {
+    let results = run_incasts(&incast_specs(ProtocolKind::Swift, false), 16, seed);
+    render_start_finish("Fig 3: start vs finish, 16-1 incast, Swift", &results)
+}
+
+/// Figure 4: the fluid-model fairness difference.
+pub fn fig4() -> String {
+    let p = fluid::FluidParams::figure4();
+    let samples = fluid::integrate(&p, 600_000.0, 5.0, 30);
+    let mut out = String::from("== Fig 4: fluid model, per-RTT vs Sampling Frequency MD ==\n\n");
+    out.push_str(&format!(
+        "params: r={} ns, MTU={} B, s={}, beta={}, C1={} B/ns, C0={} B/ns\n",
+        p.rtt_ns, p.mtu, p.s, p.beta, p.c1, p.c0
+    ));
+    out.push_str(&format!(
+        "SF converges faster (1/r < (C1+C0)/(s*MTU)): {}\n\n",
+        p.sf_converges_faster()
+    ));
+    let mut tbl = TextTable::new(vec!["t(us)", "gap perRTT", "gap SF", "difference"]);
+    for s in &samples {
+        tbl.row(vec![
+            format!("{:.0}", s.t_ns / 1e3),
+            f3(s.gap_rtt()),
+            f3(s.gap_sf()),
+            f3(s.fairness_difference()),
+        ]);
+    }
+    out.push_str(&tbl.render());
+    let peak = samples
+        .iter()
+        .map(|s| s.fairness_difference())
+        .fold(f64::MIN, f64::max);
+    out.push_str(&format!(
+        "\npeak fairness difference: {peak:.3} B/ns (positive hump then decay, as in the paper)\n"
+    ));
+    out
+}
+
+/// Figure 5: 16-1 and 96-1 incast with HPCC variants including VAI SF.
+pub fn fig5(seed: u64) -> String {
+    let mut out = String::new();
+    for (senders, tag) in [(16, "(a,b)"), (96, "(c,d)")] {
+        let results = run_incasts(&incast_specs(ProtocolKind::Hpcc, true), senders, seed);
+        out.push_str(&render_jain_queue(
+            &format!("Fig 5{tag}: {senders}-1 incast, HPCC"),
+            &results,
+            30,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 6: 16-1 and 96-1 incast with Swift variants including VAI SF.
+pub fn fig6(seed: u64) -> String {
+    let mut out = String::new();
+    for (senders, tag) in [(16, "(a,b)"), (96, "(c,d)")] {
+        let results = run_incasts(&incast_specs(ProtocolKind::Swift, true), senders, seed);
+        out.push_str(&render_jain_queue(
+            &format!("Fig 6{tag}: {senders}-1 incast, Swift"),
+            &results,
+            30,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 8: start vs finish, HPCC default vs VAI SF.
+pub fn fig8(seed: u64) -> String {
+    let specs = [
+        CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
+        CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+    ];
+    let results = run_incasts(&specs, 16, seed);
+    render_start_finish("Fig 8: start vs finish, 16-1 incast, HPCC vs HPCC VAI SF", &results)
+}
+
+/// Figure 9: start vs finish, Swift default vs VAI SF.
+pub fn fig9(seed: u64) -> String {
+    let specs = [
+        CcSpec::new(ProtocolKind::Swift, Variant::Default),
+        CcSpec::new(ProtocolKind::Swift, Variant::VaiSf),
+    ];
+    let results = run_incasts(&specs, 16, seed);
+    render_start_finish("Fig 9: start vs finish, 16-1 incast, Swift vs Swift VAI SF", &results)
+}
+
+/// The four datacenter variants of Figures 10-13.
+fn datacenter_specs() -> Vec<CcSpec> {
+    vec![
+        CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
+        CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+        CcSpec::new(ProtocolKind::Swift, Variant::Default),
+        CcSpec::new(ProtocolKind::Swift, Variant::VaiSf),
+    ]
+}
+
+fn render_slowdown(
+    title: &str,
+    results: &[DatacenterResult],
+    median: bool,
+    rows: usize,
+) -> String {
+    let mut out = format!("== {title} ==\n\n");
+    for r in results {
+        out.push_str(&format!(
+            "  {:<16} {} flows offered, {} completed\n",
+            r.label, r.n_flows, r.completed
+        ));
+    }
+    out.push('\n');
+    let stat = if median { "median" } else { "p99.9" };
+    let mut header = vec!["flow size".to_string()];
+    header.extend(results.iter().map(|r| format!("{stat}[{}]", r.label)));
+    let mut tbl = TextTable::new(header);
+    let base = &results[0].table.points;
+    // Evenly thin the bins but always keep the largest five (the long
+    // flows are the whole point of these figures).
+    let mut picks = thin(&(0..base.len()).collect::<Vec<_>>(), rows);
+    for i in base.len().saturating_sub(5)..base.len() {
+        if !picks.contains(&i) {
+            picks.push(i);
+        }
+    }
+    picks.sort_unstable();
+    for &i in &picks {
+        let mut cells = vec![fmt_size(base[i].size)];
+        for r in results {
+            let cell = r
+                .table
+                .points
+                .get(i)
+                .map(|p| f3(if median { p.median } else { p.tail }))
+                .unwrap_or_else(|| "-".into());
+            cells.push(cell);
+        }
+        tbl.row(cells);
+    }
+    out.push_str(&tbl.render());
+
+    // Paired per-flow comparison: variants at the same seed see the same
+    // flow list, so default-vs-VAI-SF pairs are directly comparable.
+    if results.len() >= 2 {
+        out.push_str("\nPaired per-flow comparison (baseline -> treatment):\n");
+        for pair in results.chunks(2) {
+            if pair.len() < 2 {
+                continue;
+            }
+            let c = fairsim::PairedComparison::compute(
+                &pair[0].raw,
+                &pair[1].raw,
+                LONG_FLOW_BYTES,
+            );
+            out.push_str(&format!(
+                "  {} -> {}: {} paired flows; long flows (> {}): {:.0}% improved, \
+                 geomean speedup {:.2}x\n",
+                pair[0].label,
+                pair[1].label,
+                c.n,
+                fmt_size(LONG_FLOW_BYTES),
+                c.long_frac_improved * 100.0,
+                c.long_geomean_speedup,
+            ));
+        }
+    }
+
+    out.push_str(&format!(
+        "\nLong-flow (>{}) {stat} slowdown summary:\n",
+        fmt_size(LONG_FLOW_BYTES)
+    ));
+    for r in results {
+        let vals: Vec<f64> = r
+            .table
+            .points
+            .iter()
+            .filter(|p| p.size > LONG_FLOW_BYTES)
+            .map(|p| if median { p.median } else { p.tail })
+            .collect();
+        let mean = if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        out.push_str(&format!("  {:<16} mean {stat} = {mean:.1}x\n", r.label));
+    }
+    out
+}
+
+/// Figure 10: 99.9% FCT slowdown vs flow size, Hadoop traffic.
+pub fn fig10(scale: Scale, seed: u64) -> String {
+    let results = run_datacenters(&datacenter_specs(), &[distributions::FB_HADOOP], scale, seed);
+    render_slowdown(
+        "Fig 10: 99.9% FCT slowdown, Hadoop traffic",
+        &results,
+        false,
+        25,
+    )
+}
+
+/// Figure 11: 99.9% FCT slowdown, WebSearch + Alibaba storage mix.
+pub fn fig11(scale: Scale, seed: u64) -> String {
+    let results = run_datacenters(
+        &datacenter_specs(),
+        &[distributions::WEBSEARCH, distributions::ALI_STORAGE],
+        scale,
+        seed,
+    );
+    render_slowdown(
+        "Fig 11: 99.9% FCT slowdown, WebSearch + Storage traffic",
+        &results,
+        false,
+        25,
+    )
+}
+
+/// Figure 12: median FCT slowdown, Hadoop traffic.
+pub fn fig12(scale: Scale, seed: u64) -> String {
+    let results = run_datacenters(&datacenter_specs(), &[distributions::FB_HADOOP], scale, seed);
+    render_slowdown(
+        "Fig 12: median FCT slowdown, Hadoop traffic",
+        &results,
+        true,
+        25,
+    )
+}
+
+/// Figure 13: median FCT slowdown, WebSearch + Storage mix.
+pub fn fig13(scale: Scale, seed: u64) -> String {
+    let results = run_datacenters(
+        &datacenter_specs(),
+        &[distributions::WEBSEARCH, distributions::ALI_STORAGE],
+        scale,
+        seed,
+    );
+    render_slowdown(
+        "Fig 13: median FCT slowdown, WebSearch + Storage traffic",
+        &results,
+        true,
+        25,
+    )
+}
+
+/// Ablation: VAI alone vs SF alone vs both (16-1 incast, HPCC).
+pub fn ablation_mechanisms(seed: u64) -> String {
+    let specs = [
+        CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
+        CcSpec::new(ProtocolKind::Hpcc, Variant::Vai),
+        CcSpec::new(ProtocolKind::Hpcc, Variant::Sf),
+        CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+    ];
+    let results = run_incasts(&specs, 16, seed);
+    render_jain_queue("Ablation: VAI / SF / VAI+SF, 16-1 incast, HPCC", &results, 25)
+}
+
+/// Run the paper's staggered incast with a *custom* per-flow CC factory
+/// (for ablations that tweak parameters the `Variant` enum does not
+/// expose). Returns the same [`IncastResult`] the stock scenarios yield.
+fn run_incast_custom<F>(
+    senders: usize,
+    seed: u64,
+    label: &str,
+    make_cc: F,
+) -> IncastResult
+where
+    F: Fn(u64) -> Box<dyn faircc::CongestionControl>,
+{
+    let sc = IncastScenario::paper(senders, CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf), seed);
+    let topo = netsim::Topology::paper_star(senders + 1);
+    let hosts = topo.hosts.clone();
+    let switch = topo.switches[0];
+    let mut net = topo.builder.build(
+        netsim::NetConfig {
+            seed,
+            ..Default::default()
+        },
+        netsim::MonitorConfig {
+            sample_interval: Some(sc.sample_interval),
+            sample_until: sc.horizon,
+            watch_ports: vec![],
+            track_flow_rates: true,
+        },
+    );
+    let bottleneck = net.port_towards(switch, hosts[senders]).expect("port");
+    net.monitor.cfg.watch_ports = vec![bottleneck];
+    for (i, f) in workloads::staggered_incast(&sc.incast).iter().enumerate() {
+        net.add_flow(
+            netsim::FlowSpec {
+                src: hosts[f.src],
+                dst: hosts[f.dst],
+                size: f.size,
+                start: f.start,
+            },
+            make_cc(seed.wrapping_mul(1009).wrapping_add(i as u64)),
+        );
+    }
+    let mut sim = dcsim::Simulation::new(net);
+    {
+        let (w, q) = sim.split_mut();
+        w.prime(q);
+    }
+    sim.run_until(sc.horizon);
+    let net = sim.into_world();
+    let jain: Vec<(f64, f64)> = net
+        .monitor
+        .samples()
+        .iter()
+        .filter(|smp| !smp.flow_rates.is_empty())
+        .map(|smp| {
+            let rates: Vec<f64> = smp.flow_rates.iter().map(|(_, r)| *r).collect();
+            (smp.t.as_micros_f64(), metrics::jain(&rates))
+        })
+        .collect();
+    IncastResult {
+        label: label.to_string(),
+        jain,
+        queue: net
+            .monitor
+            .samples()
+            .iter()
+            .map(|smp| {
+                (
+                    smp.t.as_micros_f64(),
+                    smp.queue_bytes.first().copied().unwrap_or(0),
+                )
+            })
+            .collect(),
+        fcts: net.monitor.fcts().to_vec(),
+        all_finished: net.all_finished(),
+    }
+}
+
+/// Ablation: Sampling Frequency cadence sweep (s in {5, 15, 30, 60, 120}).
+pub fn ablation_sf(seed: u64) -> String {
+    use cc_hpcc::{Hpcc, HpccConfig};
+    use dcsim::{Bytes, DetRng};
+    let mut out = String::from("== Ablation: SF cadence sweep, 16-1 incast, HPCC VAI+SF ==\n\n");
+    let mut tbl = TextTable::new(vec![
+        "s (ACKs)",
+        "converge@0.9(us)",
+        "peak queue(KB)",
+        "finish spread(us)",
+    ]);
+    let base_rtt = netsim::Topology::paper_star(17).base_rtt;
+    for s in [5u32, 15, 30, 60, 120] {
+        let res = run_incast_custom(16, seed, &format!("s={s}"), |fseed| {
+            let mut cfg = HpccConfig::vai_sf(
+                base_rtt,
+                dcsim::BitRate::from_gbps(100),
+                Bytes::from_kb(50),
+            );
+            cfg.sf = Some(faircc::SfConfig {
+                acks_per_decrease: s,
+            });
+            Box::new(Hpcc::new(cfg, DetRng::new(fseed)))
+        });
+        tbl.row(vec![
+            format!("{s}"),
+            res.convergence_time(0.9)
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "never".into()),
+            format!("{:.1}", res.peak_queue() as f64 / 1e3),
+            format!("{:.0}", res.finish_spread_us()),
+        ]);
+    }
+    out.push_str(&tbl.render());
+    out
+}
+
+/// Ablation: the VAI dampener (paper Section IV-A). Disabling it lets the
+/// elevated AI feed back into fresh congestion during a 96-1 incast; the
+/// dampener bounds queues at equal fairness.
+pub fn ablation_dampener(seed: u64) -> String {
+    use cc_hpcc::{Hpcc, HpccConfig};
+    use dcsim::{Bytes, DetRng};
+    let mut out = String::from(
+        "== Ablation: VAI dampener on/off, 96-1 incast, HPCC VAI+SF ==\n\n",
+    );
+    let mut tbl = TextTable::new(vec![
+        "dampener",
+        "peak queue(KB)",
+        "mean queue(KB)",
+        "finish spread(us)",
+        "all finished",
+    ]);
+    let base_rtt = netsim::Topology::paper_star(97).base_rtt;
+    for (label, constant) in [("enabled (8)", 8.0f64), ("disabled", f64::INFINITY)] {
+        let res = run_incast_custom(96, seed, label, |fseed| {
+            let mut cfg = HpccConfig::vai_sf(
+                base_rtt,
+                dcsim::BitRate::from_gbps(100),
+                Bytes::from_kb(50),
+            );
+            if let Some(vai) = &mut cfg.vai {
+                // An infinite constant makes the divisor 1 regardless of
+                // the dampener value: the feedback brake is off.
+                vai.dampener_constant = constant;
+            }
+            Box::new(Hpcc::new(cfg, DetRng::new(fseed)))
+        });
+        tbl.row(vec![
+            label.to_string(),
+            format!("{:.1}", res.peak_queue() as f64 / 1e3),
+            format!("{:.1}", res.mean_queue() / 1e3),
+            format!("{:.0}", res.finish_spread_us()),
+            res.all_finished.to_string(),
+        ]);
+    }
+    out.push_str(&tbl.render());
+    out.push_str(
+        "\nWithout the dampener, Variable AI's extra additive increase keeps\n\
+         regenerating the very congestion that mints its tokens.\n",
+    );
+    out
+}
+
+/// Ablation: Timely-style hyper AI on Swift (the paper's future-work
+/// suggestion for Swift's Hadoop median slowdown: "Swift may benefit
+/// from a hyper additive increase setting like in Timely, which can
+/// help grab available bandwidth").
+pub fn ablation_hyper_ai(scale: Scale, seed: u64) -> String {
+    let specs = [
+        CcSpec::new(ProtocolKind::Swift, Variant::Default),
+        CcSpec::new(ProtocolKind::Swift, Variant::Default).with_hyper_ai(),
+        CcSpec::new(ProtocolKind::Swift, Variant::VaiSf),
+        CcSpec::new(ProtocolKind::Swift, Variant::VaiSf).with_hyper_ai(),
+    ];
+    let results = run_datacenters(&specs, &[distributions::FB_HADOOP], scale, seed);
+    let mut out = render_slowdown(
+        "Ablation: Swift hyper-AI (Timely-style), Hadoop traffic, median",
+        &results,
+        true,
+        15,
+    );
+    out.push_str(
+        "\nThe paper conjectures hyper AI repairs Swift's Hadoop median by\n\
+         grabbing freed bandwidth faster after congestion clears.\n",
+    );
+    out
+}
+
+/// Ablation: mechanism generality — Variable AI + Sampling Frequency on
+/// Timely, a third sender-side protocol neither evaluated in the paper
+/// nor sharing HPCC's or Swift's signal (RTT *gradient*). The paper
+/// claims the mechanisms are "broadly applicable to other sender
+/// reaction-based protocols"; this checks that claim.
+pub fn ablation_timely(seed: u64) -> String {
+    let specs = [
+        CcSpec::new(ProtocolKind::Timely, Variant::Default),
+        CcSpec::new(ProtocolKind::Timely, Variant::Sf),
+        CcSpec::new(ProtocolKind::Timely, Variant::VaiSf),
+    ];
+    let results = run_incasts(&specs, 16, seed);
+    render_jain_queue(
+        "Ablation: VAI+SF generality on Timely, 16-1 incast",
+        &results,
+        25,
+    )
+}
+
+/// Ablation: permutation traffic — the classic fabric-fairness stressor.
+///
+/// Every host sends one large flow to a distinct destination (no incast);
+/// on a 1:1 fabric nothing would congest, so this uses an oversubscribed
+/// fat-tree (fabric links at host speed) where ECMP collisions create
+/// unequal shares. Convergence to fairness then decides how long the
+/// collided flows lag the clean ones.
+pub fn ablation_permutation(seed: u64) -> String {
+    use dcsim::Bytes;
+    let fat_tree = FatTreeConfig {
+        // Oversubscribed: fabric at host speed.
+        fabric_rate: dcsim::BitRate::from_gbps(100),
+        ..FatTreeConfig::reduced()
+    };
+    let arrivals = workloads::permutation(
+        fat_tree.num_hosts(),
+        Bytes::from_mb(4),
+        Nanos::ZERO,
+        seed ^ 0xBEEF,
+    );
+    let mut out = String::from(
+        "== Ablation: permutation traffic on an oversubscribed fat-tree ==\n\n",
+    );
+    let mut tbl = TextTable::new(vec![
+        "variant",
+        "finish spread(us)",
+        "worst slowdown",
+        "median slowdown",
+        "all finished",
+    ]);
+    for (kind, variant) in [
+        (ProtocolKind::Hpcc, Variant::Default),
+        (ProtocolKind::Hpcc, Variant::VaiSf),
+        (ProtocolKind::Swift, Variant::Default),
+        (ProtocolKind::Swift, Variant::VaiSf),
+    ] {
+        let res = fairsim::TraceScenario {
+            fat_tree,
+            arrivals: arrivals.clone(),
+            cc: CcSpec::new(kind, variant),
+            seed,
+            deadline: Nanos::from_millis(50),
+            sample_interval: None,
+        }
+        .run();
+        let finishes: Vec<f64> = res
+            .fcts
+            .iter()
+            .map(|r| r.finish.as_micros_f64())
+            .collect();
+        let spread = finishes.iter().cloned().fold(f64::MIN, f64::max)
+            - finishes.iter().cloned().fold(f64::MAX, f64::min);
+        let slowdowns: Vec<f64> = res.raw.iter().map(|&(_, _, s)| s).collect();
+        tbl.row(vec![
+            res.label.clone(),
+            format!("{spread:.0}"),
+            format!("{:.2}", slowdowns.iter().cloned().fold(f64::MIN, f64::max)),
+            format!("{:.2}", metrics::median(&slowdowns)),
+            res.all_finished.to_string(),
+        ]);
+    }
+    out.push_str(&tbl.render());
+    out
+}
+
+/// Ablation (negative control): Sampling Frequency applied to *increases*
+/// as well as decreases — the design the paper explicitly rejects because
+/// high-rate flows would then also increase more often. Expect fairness
+/// to regress relative to decrease-only SF.
+pub fn ablation_sf_increases(seed: u64) -> String {
+    use cc_hpcc::{Hpcc, HpccConfig};
+    use dcsim::{Bytes, DetRng};
+    let mut out = String::from(
+        "== Ablation (negative control): SF gating increases too, 16-1 incast, HPCC ==\n\n",
+    );
+    let base_rtt = netsim::Topology::paper_star(17).base_rtt;
+    let mut tbl = TextTable::new(vec![
+        "variant",
+        "converge@0.9(us)",
+        "unfairness integral",
+        "finish spread(us)",
+    ]);
+    for (label, on_increases) in [("SF decreases only (paper)", false), ("SF both ways", true)] {
+        let res = run_incast_custom(16, seed, label, |fseed| {
+            let mut cfg =
+                HpccConfig::vai_sf(base_rtt, dcsim::BitRate::from_gbps(100), Bytes::from_kb(50));
+            cfg.sf_on_increases = on_increases;
+            Box::new(Hpcc::new(cfg, DetRng::new(fseed)))
+        });
+        tbl.row(vec![
+            label.to_string(),
+            res.convergence_time(0.9)
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "never".into()),
+            format!("{:.0}", res.unfairness_integral()),
+            format!("{:.0}", res.finish_spread_us()),
+        ]);
+    }
+    out.push_str(&tbl.render());
+    out.push_str(
+        "\nThe paper's rule — SF must gate decreases only — holds: letting\n\
+         high-rate flows also *increase* more often cancels the benefit.\n",
+    );
+    out
+}
+
+/// Ablation: incast-degree sweep — how the convergence benefit scales
+/// with the number of joining senders (8 to 96).
+pub fn ablation_degree(seed: u64) -> String {
+    let mut out = String::from("== Ablation: incast-degree sweep, HPCC default vs VAI SF ==\n\n");
+    let mut tbl = TextTable::new(vec![
+        "senders",
+        "spread default(us)",
+        "spread VAI SF(us)",
+        "improvement",
+    ]);
+    for senders in [8usize, 16, 32, 64, 96] {
+        let results = run_incasts(
+            &[
+                CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
+                CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+            ],
+            senders,
+            seed,
+        );
+        let d = results[0].finish_spread_us();
+        let v = results[1].finish_spread_us();
+        tbl.row(vec![
+            format!("{senders}"),
+            format!("{d:.0}"),
+            format!("{v:.0}"),
+            format!("{:.2}x", d / v.max(1.0)),
+        ]);
+    }
+    out.push_str(&tbl.render());
+    out
+}
+
+/// Ablation: PFC headroom — verify that with PFC enabled at realistic
+/// watermarks, no experiment ever pauses (queues stay far below XOFF).
+pub fn ablation_pfc(seed: u64) -> String {
+    let mut out = String::from("== Ablation: PFC headroom, 16-1 incast ==\n\n");
+    let mut tbl = TextTable::new(vec!["variant", "peak queue(KB)", "PFC XOFF(KB)", "margin"]);
+    let xoff = netsim::pfc::PfcConfig::default_100g().xoff;
+    for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift] {
+        for variant in [Variant::Default, Variant::VaiSf] {
+            let res = IncastScenario::paper(16, CcSpec::new(kind, variant), seed).run();
+            let peak = res.peak_queue();
+            tbl.row(vec![
+                res.label.clone(),
+                format!("{:.1}", peak as f64 / 1e3),
+                format!("{:.0}", xoff.as_f64() / 1e3),
+                format!("{:.1}x", xoff.as_f64() / peak.max(1) as f64),
+            ]);
+        }
+    }
+    out.push_str(&tbl.render());
+    out.push_str("\nAll margins > 1x mean PFC never engages on the paper's scenarios.\n");
+    out
+}
+
+/// Run a figure by name and emit machine-readable JSON instead of text
+/// tables. Covered: the incast figures (per-variant [`fairsim::IncastSummary`]),
+/// the datacenter figures (per-variant [`fairsim::DatacenterSummary`]),
+/// and fig4 (the fluid-model samples). `None` for unknown names or
+/// figures with no JSON form.
+pub fn run_figure_json(name: &str, scale: Scale, seed: u64) -> Option<String> {
+    use fairsim::export::{to_json, DatacenterSummary, IncastSummary};
+    let incast = |specs: &[CcSpec], senders: usize| {
+        let summaries: Vec<IncastSummary> = run_incasts(specs, senders, seed)
+            .iter()
+            .map(IncastSummary::from)
+            .collect();
+        to_json(&summaries)
+    };
+    let dc = |workloads: &[&str]| {
+        let summaries: Vec<DatacenterSummary> =
+            run_datacenters(&datacenter_specs(), workloads, scale, seed)
+                .iter()
+                .map(DatacenterSummary::from)
+                .collect();
+        to_json(&summaries)
+    };
+    Some(match name {
+        "fig1" | "fig2" | "fig3" => {
+            let mut all = Vec::new();
+            for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift] {
+                all.extend(
+                    run_incasts(&incast_specs(kind, false), 16, seed)
+                        .iter()
+                        .map(fairsim::IncastSummary::from),
+                );
+            }
+            fairsim::export::to_json(&all)
+        }
+        "fig5" => incast(&incast_specs(ProtocolKind::Hpcc, true), 16),
+        "fig6" => incast(&incast_specs(ProtocolKind::Swift, true), 16),
+        "fig8" => incast(
+            &[
+                CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
+                CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+            ],
+            16,
+        ),
+        "fig9" => incast(
+            &[
+                CcSpec::new(ProtocolKind::Swift, Variant::Default),
+                CcSpec::new(ProtocolKind::Swift, Variant::VaiSf),
+            ],
+            16,
+        ),
+        "fig4" => {
+            let p = fluid::FluidParams::figure4();
+            let samples = fluid::integrate(&p, 600_000.0, 5.0, 120);
+            let rows: Vec<(f64, f64, f64, f64)> = samples
+                .iter()
+                .map(|s| (s.t_ns, s.gap_rtt(), s.gap_sf(), s.fairness_difference()))
+                .collect();
+            fairsim::export::to_json(&rows)
+        }
+        "fig10" | "fig12" => dc(&[distributions::FB_HADOOP]),
+        "fig11" | "fig13" => dc(&[distributions::WEBSEARCH, distributions::ALI_STORAGE]),
+        _ => return None,
+    })
+}
+
+/// Run a figure by name; `None` if unknown.
+pub fn run_figure(name: &str, scale: Scale, seed: u64) -> Option<String> {
+    Some(match name {
+        "fig1" => fig1(seed),
+        "fig2" => fig2(seed),
+        "fig3" => fig3(seed),
+        "fig4" => fig4(),
+        "fig5" => fig5(seed),
+        "fig6" => fig6(seed),
+        "fig8" => fig8(seed),
+        "fig9" => fig9(seed),
+        "fig10" => fig10(scale, seed),
+        "fig11" => fig11(scale, seed),
+        "fig12" => fig12(scale, seed),
+        "fig13" => fig13(scale, seed),
+        "ablation-mechanisms" => ablation_mechanisms(seed),
+        "ablation-sf" => ablation_sf(seed),
+        "ablation-dampener" => ablation_dampener(seed),
+        "ablation-hyper-ai" => ablation_hyper_ai(scale, seed),
+        "ablation-timely" => ablation_timely(seed),
+        "ablation-permutation" => ablation_permutation(seed),
+        "ablation-sf-increases" => ablation_sf_increases(seed),
+        "ablation-degree" => ablation_degree(seed),
+        "ablation-pfc" => ablation_pfc(seed),
+        _ => return None,
+    })
+}
+
+/// Every figure name, in paper order.
+pub const ALL_FIGURES: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "ablation-mechanisms", "ablation-sf", "ablation-dampener", "ablation-hyper-ai", "ablation-timely", "ablation-permutation", "ablation-sf-increases", "ablation-degree", "ablation-pfc",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_is_cheap_and_correct() {
+        let s = fig4();
+        assert!(s.contains("SF converges faster"));
+        assert!(s.contains("true"));
+    }
+
+    #[test]
+    fn run_figure_rejects_unknown() {
+        assert!(run_figure("fig7", Scale::Reduced, 1).is_none()); // topology diagram
+        assert!(run_figure("fig4", Scale::Reduced, 1).is_some());
+    }
+
+    #[test]
+    fn fig4_json_is_valid() {
+        let json = run_figure_json("fig4", Scale::Reduced, 1).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v.as_array().unwrap().len() > 100);
+        assert!(run_figure_json("ablation-pfc", Scale::Reduced, 1).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! The sender-side congestion-control interface.
+//!
+//! The simulator's host model is deliberately protocol-neutral: every flow
+//! owns a boxed [`CongestionControl`] and consults [`SenderLimits`] before
+//! each transmission. Window-based protocols (HPCC, Swift) bound the bytes
+//! in flight and pace at `window / base_rtt`; rate-based protocols (DCQCN)
+//! report an unbounded window and rely purely on the pacing rate.
+
+use crate::feedback::AckFeedback;
+use dcsim::{BitRate, Bytes, Nanos};
+
+/// How the host's send loop should throttle a flow right now.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenderLimits {
+    /// Maximum bytes allowed in flight (sent but unacknowledged).
+    /// `f64::INFINITY` for purely rate-based protocols.
+    pub window_bytes: f64,
+    /// Packet pacing rate. The NIC line rate still applies on top.
+    pub pacing: BitRate,
+}
+
+impl SenderLimits {
+    /// A window-limited sender paced at `window / base_rtt`.
+    pub fn windowed(window_bytes: f64, base_rtt: Nanos) -> Self {
+        let secs = base_rtt.as_secs_f64();
+        let pacing = if secs > 0.0 {
+            BitRate(((window_bytes * 8.0 / secs).round().min(u64::MAX as f64)) as u64)
+        } else {
+            BitRate(u64::MAX)
+        };
+        SenderLimits {
+            window_bytes,
+            pacing,
+        }
+    }
+
+    /// A purely rate-based sender.
+    pub fn rate_based(rate: BitRate) -> Self {
+        SenderLimits {
+            window_bytes: f64::INFINITY,
+            pacing: rate,
+        }
+    }
+}
+
+/// Whether a protocol is primarily window- or rate-based; used by the
+/// experiment layer for reporting and by tests as a sanity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcMode {
+    /// Bytes-in-flight window plus pacing (HPCC, Swift).
+    Window,
+    /// Pure injection-rate control (DCQCN).
+    Rate,
+}
+
+/// A sender-side congestion-control algorithm.
+///
+/// Implementations must be deterministic given the same sequence of calls
+/// (any randomness comes from a seeded RNG owned by the instance).
+pub trait CongestionControl: Send {
+    /// Process one acknowledgement and update internal state.
+    fn on_ack(&mut self, fb: &AckFeedback);
+
+    /// Process a DCQCN Congestion Notification Packet. Protocols that do
+    /// not use CNPs ignore it.
+    fn on_cnp(&mut self, _now: Nanos) {}
+
+    /// Notify the algorithm that `bytes` were handed to the NIC. DCQCN's
+    /// byte-counter rate-increase machinery hangs off this.
+    fn on_send(&mut self, _now: Nanos, _bytes: Bytes) {}
+
+    /// The next time the algorithm needs a timer callback, if any.
+    /// The host schedules `on_timer` at (or after) this instant.
+    fn next_timer(&self) -> Option<Nanos> {
+        None
+    }
+
+    /// Timer callback (see [`next_timer`](Self::next_timer)).
+    fn on_timer(&mut self, _now: Nanos) {}
+
+    /// The current transmission limits for this flow.
+    fn limits(&self) -> SenderLimits;
+
+    /// Window- or rate-based classification.
+    fn mode(&self) -> CcMode;
+
+    /// Short human-readable name ("HPCC", "Swift VAI SF", ...) used in
+    /// figure legends.
+    fn name(&self) -> &str;
+
+    /// The instantaneous fair-share-relevant sending rate in bits/s,
+    /// used by the fairness monitor. For window protocols this is
+    /// `window / base_rtt`; for rate protocols the current rate.
+    fn current_rate(&self) -> BitRate {
+        self.limits().pacing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_limits_compute_pacing() {
+        // 100 KB window over a 10 us RTT = 80 Gbps.
+        let l = SenderLimits::windowed(100_000.0, Nanos::from_micros(10));
+        assert_eq!(l.pacing, BitRate::from_gbps(80));
+        assert_eq!(l.window_bytes, 100_000.0);
+    }
+
+    #[test]
+    fn windowed_with_zero_rtt_is_unthrottled() {
+        let l = SenderLimits::windowed(1000.0, Nanos::ZERO);
+        assert_eq!(l.pacing, BitRate(u64::MAX));
+    }
+
+    #[test]
+    fn rate_based_has_infinite_window() {
+        let l = SenderLimits::rate_based(BitRate::from_gbps(25));
+        assert!(l.window_bytes.is_infinite());
+        assert_eq!(l.pacing, BitRate::from_gbps(25));
+    }
+
+    /// A trivial impl to pin down trait-object safety and defaults.
+    struct Fixed;
+    impl CongestionControl for Fixed {
+        fn on_ack(&mut self, _fb: &AckFeedback) {}
+        fn limits(&self) -> SenderLimits {
+            SenderLimits::rate_based(BitRate::from_gbps(1))
+        }
+        fn mode(&self) -> CcMode {
+            CcMode::Rate
+        }
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn trait_defaults_are_noops() {
+        let mut cc: Box<dyn CongestionControl> = Box::new(Fixed);
+        cc.on_cnp(Nanos(1));
+        cc.on_send(Nanos(1), Bytes(10));
+        cc.on_timer(Nanos(2));
+        assert_eq!(cc.next_timer(), None);
+        assert_eq!(cc.current_rate(), BitRate::from_gbps(1));
+        assert_eq!(cc.name(), "fixed");
+    }
+}

@@ -1,0 +1,46 @@
+//! `faircc` — fast convergence to fairness for datacenter congestion control.
+//!
+//! This crate implements the primary contribution of Snyder & Lebeck, *"Fast
+//! Convergence to Fairness for Reduced Long Flow Tail Latency in Datacenter
+//! Networks"* (IPDPS 2022): two protocol-agnostic mechanisms that make
+//! sender-side congestion-control protocols converge to fair bandwidth
+//! allocations quickly:
+//!
+//! * **Variable Additive Increase** ([`vai::VariableAi`]) — a token bank fed
+//!   by observed congestion. The paper's key observation is that bandwidth
+//!   allocations become unfair exactly when a new flow joins, and a new flow
+//!   joining shows up as a sharp congestion increase at the bottleneck. VAI
+//!   therefore converts congestion into *AI tokens* that temporarily raise
+//!   the additive-increase step, forcing the small multiplicative-decrease /
+//!   additive-increase cycles that AIMD needs to equalize rates — and a
+//!   *dampener* keeps the extra AI from feeding back into fresh congestion.
+//! * **Sampling Frequency** ([`sampling::SamplingFrequency`]) — reacting to
+//!   congestion once every `s` ACKs instead of once per RTT. Flows holding
+//!   more bandwidth receive proportionally more ACKs, so they decrease more
+//!   often; the fluid-model analysis in the `fluid` crate proves this
+//!   converges faster whenever `1/r < (C1 + C0) / (s * MTU)`.
+//!
+//! The crate also defines the [`cc::CongestionControl`] trait through which
+//! the packet-level simulator (`netsim`) drives any protocol, the feedback
+//! records ([`feedback::AckFeedback`], [`feedback::IntStack`]) those
+//! protocols consume, and the probabilistic-feedback gate
+//! ([`prob::ProbabilisticGate`]) used by the paper's "HPCC/Swift
+//! Probabilistic" baselines.
+//!
+//! Protocol implementations live in sibling crates (`cc-hpcc`, `cc-swift`,
+//! `cc-dcqcn`); this crate stays dependency-light so mechanisms can be reused
+//! outside the simulator (e.g. in the fluid model or in unit studies).
+
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod feedback;
+pub mod prob;
+pub mod sampling;
+pub mod vai;
+
+pub use cc::{CcMode, CongestionControl, SenderLimits};
+pub use feedback::{AckFeedback, IntHop, IntStack, MAX_INT_HOPS};
+pub use prob::ProbabilisticGate;
+pub use sampling::{SamplingFrequency, SfConfig};
+pub use vai::{VaiConfig, VariableAi};

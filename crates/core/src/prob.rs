@@ -1,0 +1,138 @@
+//! Probabilistic feedback (paper Section III-D).
+//!
+//! DCQCN's RED marking is *probabilistic*: flows with more packets in the
+//! queue are proportionally more likely to receive a congestion mark, which
+//! is an inherent fairness force. INT and RTT feedback are *deterministic*:
+//! every competing flow sees (almost) the same signal regardless of its
+//! bandwidth share, so all flows react identically and unfairness persists.
+//!
+//! To demonstrate this, the paper builds "HPCC Probabilistic" and "Swift
+//! Probabilistic" baselines: deterministic feedback is randomly *ignored*
+//! with a probability that shrinks linearly with the flow's window:
+//!
+//! ```text
+//! use feedback  ⇔  Current Window >= rand() % Max Window
+//! ```
+//!
+//! i.e. a full window always reacts, a zero window never reacts, and a
+//! half-size window reacts to half its congestion signals. The gate applies
+//! only to multiplicative decreases that would update the reference rate —
+//! rate increases are never gated.
+
+use dcsim::DetRng;
+
+/// The probabilistic-feedback gate for the paper's baseline variants.
+#[derive(Debug)]
+pub struct ProbabilisticGate {
+    /// The line-rate window ("Max Window"), in the same unit the caller
+    /// passes to [`should_use`](Self::should_use) (bytes here).
+    max_window: f64,
+    rng: DetRng,
+    used: u64,
+    ignored: u64,
+}
+
+impl ProbabilisticGate {
+    /// Create a gate for a flow whose maximum (line-rate) window is
+    /// `max_window` (bytes). `rng` must be a dedicated stream so draws
+    /// cannot perturb other randomized subsystems.
+    pub fn new(max_window: f64, rng: DetRng) -> Self {
+        assert!(max_window > 0.0, "max window must be positive");
+        ProbabilisticGate {
+            max_window,
+            rng,
+            used: 0,
+            ignored: 0,
+        }
+    }
+
+    /// Decide whether to act on one congestion signal given the flow's
+    /// current (per-RTT reference) window.
+    ///
+    /// Follows the paper's linear rule: the feedback is used with
+    /// probability `current_window / max_window` (clamped to `[0, 1]`).
+    pub fn should_use(&mut self, current_window: f64) -> bool {
+        let p = (current_window / self.max_window).clamp(0.0, 1.0);
+        let use_it = self.rng.chance(p);
+        if use_it {
+            self.used += 1;
+        } else {
+            self.ignored += 1;
+        }
+        use_it
+    }
+
+    /// (used, ignored) counters for instrumentation.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.used, self.ignored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate() -> ProbabilisticGate {
+        ProbabilisticGate::new(100_000.0, DetRng::new(77))
+    }
+
+    #[test]
+    fn full_window_always_reacts() {
+        let mut g = gate();
+        for _ in 0..1000 {
+            assert!(g.should_use(100_000.0));
+        }
+    }
+
+    #[test]
+    fn oversized_window_always_reacts() {
+        let mut g = gate();
+        assert!(g.should_use(250_000.0));
+    }
+
+    #[test]
+    fn zero_window_never_reacts() {
+        let mut g = gate();
+        for _ in 0..1000 {
+            assert!(!g.should_use(0.0));
+        }
+        assert_eq!(g.counts(), (0, 1000));
+    }
+
+    #[test]
+    fn half_window_reacts_about_half_the_time() {
+        let mut g = gate();
+        let n = 100_000;
+        let used = (0..n).filter(|_| g.should_use(50_000.0)).count();
+        let frac = used as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn probability_scales_linearly() {
+        // A flow at 2x the window of another reacts ~2x as often — the
+        // fairness force the paper borrows from RED.
+        let mut g1 = ProbabilisticGate::new(100_000.0, DetRng::new(1));
+        let mut g2 = ProbabilisticGate::new(100_000.0, DetRng::new(2));
+        let n = 200_000;
+        let a = (0..n).filter(|_| g1.should_use(20_000.0)).count() as f64;
+        let b = (0..n).filter(|_| g2.should_use(40_000.0)).count() as f64;
+        let ratio = b / a;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ProbabilisticGate::new(1000.0, DetRng::new(5));
+        let mut b = ProbabilisticGate::new(1000.0, DetRng::new(5));
+        for _ in 0..500 {
+            assert_eq!(a.should_use(400.0), b.should_use(400.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_max_window_rejected() {
+        ProbabilisticGate::new(0.0, DetRng::new(1));
+    }
+}

@@ -1,0 +1,386 @@
+//! Variable Additive Increase (paper Section IV-A, Algorithms 1 and 2).
+//!
+//! VAI exploits two observations:
+//!
+//! 1. bandwidth allocations become unfair when a new flow joins (new flows
+//!    start at line rate in RDMA networks), and
+//! 2. a new flow joining produces a sharp congestion increase at the
+//!    bottleneck (the queue grows by roughly the new flow's BDP).
+//!
+//! So VAI treats *congestion above a threshold* as evidence of unfairness
+//! and converts it into **AI tokens**: temporary multipliers on the
+//! protocol's base additive-increase step. Bigger AI forces more frequent,
+//! larger AIMD cycles, which is exactly what redistributes bandwidth — at a
+//! transient latency cost that the paper shows is near zero in practice.
+//!
+//! Because added AI itself causes queueing, VAI could feed back on itself;
+//! the **dampener** divides the spent tokens while congestion persists and
+//! only resets once the bank is empty *and* a whole RTT passes with no
+//! congestion at all (then the loop provably has no input left).
+//!
+//! This type is protocol-agnostic: HPCC feeds it queue depths in bytes and
+//! Swift feeds it queueing delay in nanoseconds; both use the same algebra.
+
+/// Tunables for [`VariableAi`] (paper Section VI-A gives the defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VaiConfig {
+    /// Congestion level above which tokens are generated. The paper uses
+    /// the network's minimum BDP (≈ 50 KB of queue for HPCC; the
+    /// BDP-equivalent delay, 4 µs past target, for Swift): a freshly joined
+    /// line-rate flow standing for one RTT creates at least this much queue.
+    pub token_thresh: f64,
+    /// Divisor converting measured congestion into tokens
+    /// (`AI_DIV`; 1 KB of queue per token in HPCC, 30 ns of delay per token
+    /// in Swift).
+    pub ai_div: f64,
+    /// Maximum number of banked tokens (`Bank_Cap`, paper default 1000).
+    pub bank_cap: f64,
+    /// Maximum tokens spendable in one rate-update period (`AI_Cap`,
+    /// paper default 100).
+    pub ai_cap: f64,
+    /// The dampener divisor scale (`Dampener_Constant`, paper default 8).
+    pub dampener_constant: f64,
+}
+
+impl VaiConfig {
+    /// The paper's HPCC parameterization: congestion measured as queue
+    /// depth in bytes, threshold = minimum BDP.
+    pub fn hpcc_default(min_bdp_bytes: f64) -> Self {
+        VaiConfig {
+            token_thresh: min_bdp_bytes,
+            ai_div: 1_000.0, // one token per KByte of queue
+            bank_cap: 1_000.0,
+            ai_cap: 100.0,
+            dampener_constant: 8.0,
+        }
+    }
+
+    /// The paper's Swift parameterization: congestion measured as queueing
+    /// delay (nanoseconds above target); threshold = the delay the minimum
+    /// BDP induces (4 µs at 100 Gbps for 50 KB).
+    pub fn swift_default(bdp_delay_ns: f64) -> Self {
+        VaiConfig {
+            token_thresh: bdp_delay_ns,
+            ai_div: 30.0, // one token per 30 ns of queueing delay
+            bank_cap: 1_000.0,
+            ai_cap: 100.0,
+            dampener_constant: 8.0,
+        }
+    }
+}
+
+/// The Variable AI state machine (Algorithms 1 and 2).
+///
+/// ```
+/// use faircc::{VaiConfig, VariableAi};
+///
+/// // HPCC parameterization: queue depth in bytes, threshold = min BDP.
+/// let mut vai = VariableAi::new(VaiConfig::hpcc_default(50_000.0));
+///
+/// // A new line-rate flow joined: one RTT of 120 KB queues.
+/// vai.observe(120_000.0, true);
+/// vai.on_rtt_end();
+/// assert_eq!(vai.bank(), 120.0); // one token per KB
+///
+/// // The next additive increase is multiplied accordingly (capped at
+/// // AI_Cap = 100, shrunk by the dampener).
+/// let m = vai.ai_multiplier(true);
+/// assert!(m > 1.0 && m <= 100.0);
+/// ```
+///
+/// Call pattern, per flow:
+///
+/// * [`observe`](Self::observe) on every ACK with that ACK's congestion
+///   measure (and whether the protocol saw *any* congestion signal);
+/// * [`on_rtt_end`](Self::on_rtt_end) once per RTT (Algorithm 1: token
+///   generation and dampener bookkeeping);
+/// * [`ai_multiplier`](Self::ai_multiplier) whenever the protocol performs
+///   an additive increase (Algorithm 2: token spend). The protocol
+///   multiplies its base AI by the returned factor (≥ 1).
+#[derive(Debug, Clone)]
+pub struct VariableAi {
+    cfg: VaiConfig,
+    bank: f64,
+    dampener: f64,
+    /// Maximum congestion measure observed since the last RTT boundary —
+    /// the "Measured Congestion" of Algorithm 1.
+    measured: f64,
+    /// Whether *any* congestion signal at all arrived this RTT. Distinct
+    /// from `measured > 0`: e.g. HPCC counts "no congestion" as max
+    /// utilization staying below target the whole RTT, even while queues
+    /// are tiny but nonzero.
+    any_congestion: bool,
+}
+
+impl VariableAi {
+    /// A fresh instance with empty bank and zero dampener (the state a new
+    /// flow starts in — the paper notes this gives new flows a brief AI
+    /// advantage that it found benign in practice).
+    pub fn new(cfg: VaiConfig) -> Self {
+        assert!(cfg.token_thresh > 0.0, "token threshold must be positive");
+        assert!(cfg.ai_div > 0.0, "AI_DIV must be positive");
+        VariableAi {
+            cfg,
+            bank: 0.0,
+            dampener: 0.0,
+            measured: 0.0,
+            any_congestion: false,
+        }
+    }
+
+    /// Record one feedback sample inside the current RTT.
+    ///
+    /// `congestion` is the protocol's congestion measure (queue bytes for
+    /// HPCC, excess delay in ns for Swift); `congested` is the protocol's
+    /// own "this sample indicates congestion" predicate.
+    #[inline]
+    pub fn observe(&mut self, congestion: f64, congested: bool) {
+        if congestion > self.measured {
+            self.measured = congestion;
+        }
+        self.any_congestion |= congested;
+    }
+
+    /// Algorithm 1: run at every RTT boundary.
+    pub fn on_rtt_end(&mut self) {
+        let meas = self.measured;
+        let thresh = self.cfg.token_thresh;
+
+        // Lines 2-4: mint tokens proportional to congestion above threshold.
+        if meas > thresh {
+            self.bank = (meas / self.cfg.ai_div + self.bank).min(self.cfg.bank_cap);
+        }
+
+        // Lines 5-13: dampener bookkeeping.
+        if meas > thresh {
+            self.dampener += meas / thresh;
+        } else if self.bank == 0.0 {
+            if !self.any_congestion {
+                // No token input and no congestion: the feedback loop has
+                // no remaining stimulus, safe to fully reset.
+                self.dampener = 0.0;
+            } else if meas < thresh {
+                self.dampener = (self.dampener - 1.0).max(0.0);
+            }
+        }
+
+        // Line 14.
+        self.measured = 0.0;
+        self.any_congestion = false;
+    }
+
+    /// Algorithm 2: how many effective tokens to apply to this rate update.
+    ///
+    /// Returns the factor to multiply the protocol's base AI by (always
+    /// ≥ 1 — with an empty bank VAI degenerates to the protocol's default
+    /// behaviour). `spend` must be true when this update is a rate
+    /// *adjustment period* (the paper: tokens are removed every decrease
+    /// period when the rate is decreasing, and every RTT when increasing).
+    pub fn ai_multiplier(&mut self, spend: bool) -> f64 {
+        let tokens = self.cfg.ai_cap.min(self.bank);
+        if spend {
+            self.bank = (self.bank - tokens).max(0.0);
+        }
+        let divisor = self.dampener / self.cfg.dampener_constant + 1.0;
+        (tokens / divisor).max(1.0)
+    }
+
+    /// Current banked tokens (for instrumentation/tests).
+    pub fn bank(&self) -> f64 {
+        self.bank
+    }
+
+    /// Current dampener value (for instrumentation/tests).
+    pub fn dampener(&self) -> f64 {
+        self.dampener
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &VaiConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> VaiConfig {
+        // Threshold 50 KB, 1 token/KB: the paper's HPCC setting.
+        VaiConfig::hpcc_default(50_000.0)
+    }
+
+    #[test]
+    fn no_congestion_no_tokens() {
+        let mut vai = VariableAi::new(cfg());
+        vai.observe(10_000.0, false);
+        vai.on_rtt_end();
+        assert_eq!(vai.bank(), 0.0);
+        assert_eq!(vai.ai_multiplier(true), 1.0);
+    }
+
+    #[test]
+    fn congestion_above_threshold_mints_tokens() {
+        let mut vai = VariableAi::new(cfg());
+        // A new 100 Gbps flow standing for an RTT ≈ one BDP of queue:
+        vai.observe(100_000.0, true);
+        vai.on_rtt_end();
+        assert_eq!(vai.bank(), 100.0); // 100 KB / 1 KB-per-token
+        assert!(vai.dampener() > 0.0); // 100k/50k = 2
+    }
+
+    #[test]
+    fn bank_caps_at_bank_cap() {
+        let mut vai = VariableAi::new(cfg());
+        for _ in 0..100 {
+            vai.observe(100_000.0, true);
+            vai.on_rtt_end();
+        }
+        assert_eq!(vai.bank(), 1_000.0);
+    }
+
+    #[test]
+    fn multiplier_caps_at_ai_cap() {
+        let mut vai = VariableAi::new(cfg());
+        // Fill the bank well past AI_Cap.
+        for _ in 0..20 {
+            vai.observe(200_000.0, true);
+            vai.on_rtt_end();
+        }
+        // Dampener has grown (4 per RTT * 20 = 80); divisor = 80/8+1 = 11.
+        let d = vai.dampener();
+        let expect = (100.0 / (d / 8.0 + 1.0)).max(1.0);
+        let m = vai.ai_multiplier(true);
+        assert!((m - expect).abs() < 1e-9, "m={m} expect={expect}");
+        assert!(m <= 100.0);
+    }
+
+    #[test]
+    fn spend_drains_bank() {
+        let mut vai = VariableAi::new(cfg());
+        vai.observe(150_000.0, true);
+        vai.on_rtt_end();
+        assert_eq!(vai.bank(), 150.0);
+        vai.ai_multiplier(true); // spends min(100, 150) = 100
+        assert_eq!(vai.bank(), 50.0);
+        vai.ai_multiplier(true); // spends remaining 50
+        assert_eq!(vai.bank(), 0.0);
+        // Bank empty: back to base AI.
+        assert_eq!(vai.ai_multiplier(true), 1.0);
+    }
+
+    #[test]
+    fn non_spending_update_keeps_bank() {
+        let mut vai = VariableAi::new(cfg());
+        vai.observe(150_000.0, true);
+        vai.on_rtt_end();
+        let before = vai.bank();
+        vai.ai_multiplier(false);
+        assert_eq!(vai.bank(), before);
+    }
+
+    #[test]
+    fn dampener_reduces_effective_tokens() {
+        let mut vai = VariableAi::new(cfg());
+        // Persistent heavy congestion, as in a 100-1 incast.
+        for _ in 0..10 {
+            vai.observe(400_000.0, true);
+            vai.on_rtt_end();
+        }
+        // dampener = 10 * (400k/50k) = 80 → divisor = 11.
+        assert!((vai.dampener() - 80.0).abs() < 1e-9);
+        let m = vai.ai_multiplier(false);
+        assert!((m - 100.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dampener_resets_only_when_bank_empty_and_quiet() {
+        let mut vai = VariableAi::new(cfg());
+        vai.observe(100_000.0, true);
+        vai.on_rtt_end();
+        assert!(vai.bank() > 0.0 && vai.dampener() > 0.0);
+
+        // Quiet RTT but bank non-empty: dampener must NOT reset (feedback
+        // could still occur from spending the banked tokens).
+        vai.observe(0.0, false);
+        vai.on_rtt_end();
+        assert!(vai.dampener() > 0.0);
+
+        // Drain the bank.
+        vai.ai_multiplier(true);
+        assert_eq!(vai.bank(), 0.0);
+
+        // Mild congestion below threshold: dampener decays by 1 per RTT.
+        let d0 = vai.dampener();
+        vai.observe(10_000.0, true);
+        vai.on_rtt_end();
+        assert!((vai.dampener() - (d0 - 1.0).max(0.0)).abs() < 1e-9);
+
+        // Fully quiet RTT with empty bank: dampener resets to zero.
+        vai.observe(0.0, false);
+        vai.on_rtt_end();
+        assert_eq!(vai.dampener(), 0.0);
+    }
+
+    #[test]
+    fn measured_congestion_is_max_not_sum() {
+        let mut vai = VariableAi::new(cfg());
+        vai.observe(60_000.0, true);
+        vai.observe(40_000.0, true);
+        vai.observe(55_000.0, true);
+        vai.on_rtt_end();
+        assert_eq!(vai.bank(), 60.0); // max = 60 KB → 60 tokens
+    }
+
+    #[test]
+    fn swift_default_units() {
+        // 9 us target-exceeding delay with 30 ns per token.
+        let mut vai = VariableAi::new(VaiConfig::swift_default(4_000.0));
+        vai.observe(9_000.0, true);
+        vai.on_rtt_end();
+        assert_eq!(vai.bank(), 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        VariableAi::new(VaiConfig {
+            token_thresh: 0.0,
+            ..cfg()
+        });
+    }
+
+    proptest! {
+        /// The bank never exceeds its cap and never goes negative,
+        /// regardless of the observation sequence.
+        #[test]
+        fn prop_bank_bounded(obs in prop::collection::vec((0.0f64..500_000.0, any::<bool>(), any::<bool>()), 0..200)) {
+            let mut vai = VariableAi::new(cfg());
+            for (c, congested, spend) in obs {
+                vai.observe(c, congested);
+                vai.on_rtt_end();
+                let m = vai.ai_multiplier(spend);
+                prop_assert!(m >= 1.0);
+                prop_assert!(m <= vai.config().ai_cap);
+                prop_assert!(vai.bank() >= 0.0);
+                prop_assert!(vai.bank() <= vai.config().bank_cap);
+                prop_assert!(vai.dampener() >= 0.0);
+            }
+        }
+
+        /// With no congestion ever observed, VAI is exactly inert: the
+        /// multiplier is always 1 (the protocol's default behaviour).
+        #[test]
+        fn prop_inert_without_congestion(n in 0usize..100) {
+            let mut vai = VariableAi::new(cfg());
+            for _ in 0..n {
+                vai.observe(0.0, false);
+                vai.on_rtt_end();
+                prop_assert_eq!(vai.ai_multiplier(true), 1.0);
+            }
+            prop_assert_eq!(vai.bank(), 0.0);
+            prop_assert_eq!(vai.dampener(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The simulation driver: pulls events off the calendar queue in time order
+//! and dispatches them to a [`World`].
+
+use crate::queue::EventQueue;
+use crate::time::Nanos;
+
+/// Domain logic plugged into the engine.
+///
+/// A `World` holds *all* mutable simulation state (arena style: flat vectors
+/// indexed by ids, no interior mutability). The engine guarantees `handle`
+/// is called with non-decreasing `now` values.
+pub trait World {
+    /// The event payload type. Keep it small; it is moved through a heap.
+    type Event;
+
+    /// React to one event. New events are scheduled through `queue`; their
+    /// times must be `>= now` (enforced by the engine in debug builds).
+    fn handle(&mut self, now: Nanos, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Why a call to [`Simulation::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely before the deadline.
+    Drained,
+    /// The deadline was reached with events still pending.
+    DeadlineReached,
+    /// The event budget was exhausted (runaway-protection).
+    BudgetExhausted,
+}
+
+/// A discrete-event simulation: a [`World`] plus a clock and calendar queue.
+pub struct Simulation<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: Nanos,
+    events_handled: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Wrap a world with an empty schedule at time zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            now: Nanos::ZERO,
+            events_handled: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last handled event).
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    #[inline]
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Immutable access to the domain state.
+    #[inline]
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the domain state (setup & inspection between runs).
+    #[inline]
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Mutable access to the schedule (to seed initial events).
+    #[inline]
+    pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
+        &mut self.queue
+    }
+
+    /// Simultaneous access to the world and the schedule, for setup code
+    /// that reads world state while seeding events (e.g. `Network::prime`).
+    #[inline]
+    pub fn split_mut(&mut self) -> (&mut W, &mut EventQueue<W::Event>) {
+        (&mut self.world, &mut self.queue)
+    }
+
+    /// Dispatch a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((at, ev)) => {
+                debug_assert!(
+                    at >= self.now,
+                    "time ran backwards: popped {at:?} at now={:?}",
+                    self.now
+                );
+                self.now = at;
+                self.events_handled += 1;
+                self.world.handle(at, ev, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue drains.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(Nanos::MAX)
+    }
+
+    /// Run until the queue drains or an event would fire after `deadline`
+    /// (events at exactly `deadline` are processed).
+    ///
+    /// On `DeadlineReached` the clock is advanced to `deadline` so that
+    /// post-run measurements (e.g. "queue depth at end of horizon") observe
+    /// a consistent time, matching ns-3's `Simulator::Stop` semantics.
+    pub fn run_until(&mut self, deadline: Nanos) -> RunOutcome {
+        self.run_with_budget(deadline, u64::MAX)
+    }
+
+    /// Like [`run_until`](Self::run_until) but also stops after dispatching
+    /// `budget` events. Tests use this to guard against non-terminating
+    /// event storms; the figure harness uses it as a safety net.
+    pub fn run_with_budget(&mut self, deadline: Nanos, budget: u64) -> RunOutcome {
+        let mut remaining = budget;
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > deadline => {
+                    self.now = deadline;
+                    return RunOutcome::DeadlineReached;
+                }
+                Some(_) => {
+                    if remaining == 0 {
+                        return RunOutcome::BudgetExhausted;
+                    }
+                    remaining -= 1;
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Tear down into the inner world (to extract results by value).
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that records the order in which events arrive.
+    struct Recorder {
+        seen: Vec<(Nanos, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: Nanos, ev: u32, _q: &mut EventQueue<u32>) {
+            self.seen.push((now, ev));
+        }
+    }
+
+    #[test]
+    fn dispatch_order_is_time_then_fifo() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.queue_mut().push(Nanos(20), 1);
+        sim.queue_mut().push(Nanos(10), 2);
+        sim.queue_mut().push(Nanos(20), 3);
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(
+            sim.world().seen,
+            vec![(Nanos(10), 2), (Nanos(20), 1), (Nanos(20), 3)]
+        );
+        assert_eq!(sim.events_handled(), 3);
+    }
+
+    #[test]
+    fn deadline_stops_and_advances_clock() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.queue_mut().push(Nanos(10), 1);
+        sim.queue_mut().push(Nanos(100), 2);
+        assert_eq!(sim.run_until(Nanos(50)), RunOutcome::DeadlineReached);
+        assert_eq!(sim.world().seen, vec![(Nanos(10), 1)]);
+        assert_eq!(sim.now(), Nanos(50));
+        // The pending event survives and can be run later.
+        assert_eq!(sim.run_until(Nanos(100)), RunOutcome::Drained);
+        assert_eq!(sim.world().seen.len(), 2);
+    }
+
+    #[test]
+    fn events_exactly_at_deadline_fire() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.queue_mut().push(Nanos(50), 9);
+        assert_eq!(sim.run_until(Nanos(50)), RunOutcome::Drained);
+        assert_eq!(sim.world().seen, vec![(Nanos(50), 9)]);
+    }
+
+    /// A world that reschedules itself forever.
+    struct Ticker;
+    impl World for Ticker {
+        type Event = ();
+        fn handle(&mut self, now: Nanos, _: (), q: &mut EventQueue<()>) {
+            q.push(now + Nanos(1), ());
+        }
+    }
+
+    #[test]
+    fn budget_limits_runaway_worlds() {
+        let mut sim = Simulation::new(Ticker);
+        sim.queue_mut().push(Nanos(0), ());
+        assert_eq!(
+            sim.run_with_budget(Nanos::MAX, 1000),
+            RunOutcome::BudgetExhausted
+        );
+        assert_eq!(sim.events_handled(), 1000);
+    }
+
+    #[test]
+    fn step_on_empty_queue_is_false() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn clock_is_monotone_across_cascades() {
+        struct Cascade {
+            max_seen: Nanos,
+            ok: bool,
+        }
+        impl World for Cascade {
+            type Event = u8;
+            fn handle(&mut self, now: Nanos, depth: u8, q: &mut EventQueue<u8>) {
+                self.ok &= now >= self.max_seen;
+                self.max_seen = self.max_seen.max(now);
+                if depth > 0 {
+                    // Schedule both "now" (same-time cascade) and later.
+                    q.push(now, depth - 1);
+                    q.push(now + Nanos(3), depth - 1);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Cascade {
+            max_seen: Nanos::ZERO,
+            ok: true,
+        });
+        sim.queue_mut().push(Nanos(1), 6);
+        sim.run();
+        assert!(sim.world().ok, "clock went backwards");
+    }
+}

@@ -1,0 +1,205 @@
+//! Deterministic random numbers for simulations.
+//!
+//! Every scenario run owns a [`DetRng`] seeded from a single `u64`. Distinct
+//! subsystems (workload sampling, ECMP hashing, RED marking, probabilistic
+//! feedback) should each take an independent *stream* split off the scenario
+//! seed so that, e.g., adding one extra RED draw cannot perturb the flow
+//! arrival sequence. Streams are derived with SplitMix64, the standard seed
+//! expander, so nearby seeds still yield statistically independent streams.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng as _};
+
+/// SplitMix64 step: used for seed derivation only, never as the main RNG.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, splittable random number generator.
+///
+/// Internally a `SmallRng` (xoshiro-family, fast, non-cryptographic —
+/// exactly what a network simulator needs) plus the ability to derive
+/// independent child generators by label.
+pub struct DetRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl std::fmt::Debug for DetRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetRng").field("seed", &self.seed).finish()
+    }
+}
+
+impl DetRng {
+    /// Create a generator from a scenario seed.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        // Expand the u64 into the 32-byte SmallRng seed deterministically.
+        let mut bytes = [0u8; 32];
+        for chunk in bytes.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut s).to_le_bytes());
+        }
+        DetRng {
+            inner: SmallRng::from_seed(bytes),
+            seed,
+        }
+    }
+
+    /// The seed this generator (or stream) was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream.
+    ///
+    /// `label` identifies the consumer (e.g. 0 = workload, 1 = ECMP,
+    /// 2 = RED, 3 = probabilistic feedback). The child depends only on
+    /// `(seed, label)`, never on how much randomness the parent has already
+    /// consumed, which keeps subsystems decoupled.
+    pub fn stream(&self, label: u64) -> DetRng {
+        let mut s = self.seed ^ label.rotate_left(17).wrapping_mul(0xA24B_AED4_963E_E407);
+        let derived = splitmix64(&mut s);
+        DetRng::new(derived)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for Poisson arrival processes; mean is in whatever unit the
+    /// caller works in (we use nanoseconds between flow arrivals).
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // Inverse-CDF; (1 - u) avoids ln(0).
+        -mean * (1.0 - self.f64()).ln()
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_independent_of_parent_consumption() {
+        let parent1 = DetRng::new(7);
+        let mut parent2 = DetRng::new(7);
+        // Burn randomness on parent2 before splitting.
+        for _ in 0..100 {
+            parent2.next_u64();
+        }
+        let mut c1 = parent1.stream(3);
+        let mut c2 = parent2.stream(3);
+        for _ in 0..100 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_stream_labels_differ() {
+        let root = DetRng::new(9);
+        let mut a = root.stream(0);
+        let mut b = root.stream(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = DetRng::new(5);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let mut r = DetRng::new(11);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn exp_mean_is_calibrated() {
+        let mut r = DetRng::new(13);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exp(500.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 500.0).abs() < 10.0, "got {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exp_rejects_nonpositive_mean() {
+        DetRng::new(1).exp(0.0);
+    }
+}

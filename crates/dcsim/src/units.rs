@@ -1,0 +1,264 @@
+//! Physical units shared across the workspace: byte counts and bit rates.
+//!
+//! These are deliberately thin integer newtypes. Congestion-control math that
+//! genuinely needs fractions (windows measured in fractional packets, rates
+//! mid-update) is done in `f64` by the protocol crates; the *network model*
+//! works in whole bytes and bits-per-second so that link serialization times
+//! are exact and runs are reproducible across platforms.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use crate::time::Nanos;
+
+/// A count of bytes (payload sizes, queue depths, window sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(pub u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Construct from kilobytes (10^3 bytes, the unit the paper uses for
+    /// queue depths: "a queue of about 100KB").
+    #[inline]
+    pub const fn from_kb(kb: u64) -> Self {
+        Bytes(kb * 1_000)
+    }
+
+    /// Construct from megabytes (10^6 bytes; flow sizes like "1MB flows").
+    #[inline]
+    pub const fn from_mb(mb: u64) -> Self {
+        Bytes(mb * 1_000_000)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Byte count as `f64`, for fairness/utilization math.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two byte counts.
+    #[inline]
+    pub fn max(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two byte counts.
+    #[inline]
+    pub fn min(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.min(rhs.0))
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bytes {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= 1_000_000 {
+            write!(f, "{:.2}MB", b as f64 / 1e6)
+        } else if b >= 1_000 {
+            write!(f, "{:.1}KB", b as f64 / 1e3)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+/// A link or injection rate in bits per second.
+///
+/// 100 Gbps — the paper's host link speed — is 1e11 bps, comfortably inside
+/// `u64`. Conversions to serialization delay round to whole nanoseconds;
+/// the link model owns sub-nanosecond residue (see `netsim::link`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BitRate(pub u64);
+
+impl BitRate {
+    /// Zero rate (an idle or fully throttled sender).
+    pub const ZERO: BitRate = BitRate(0);
+
+    /// Construct from gigabits per second.
+    #[inline]
+    pub const fn from_gbps(g: u64) -> Self {
+        BitRate(g * 1_000_000_000)
+    }
+
+    /// Construct from megabits per second (the paper's AI unit: 50 Mbps).
+    #[inline]
+    pub const fn from_mbps(m: u64) -> Self {
+        BitRate(m * 1_000_000)
+    }
+
+    /// Raw bits-per-second value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rate in bits per second as `f64`.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Rate expressed in bytes per second.
+    #[inline]
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0 as f64 / 8.0
+    }
+
+    /// Time to serialize `bytes` at this rate, rounded up to whole ns.
+    ///
+    /// Rounding *up* guarantees a transmitter never emits faster than the
+    /// physical line: 1000 B at 100 Gbps is exactly 80 ns; 1000 B at 400 Gbps
+    /// is exactly 20 ns; 1 B at 3 Gbps rounds 2.67 ns up to 3 ns.
+    #[inline]
+    pub fn serialization_delay(self, bytes: Bytes) -> Nanos {
+        assert!(self.0 > 0, "serialization delay at zero rate is undefined");
+        // delay_ns = bytes * 8 * 1e9 / rate_bps, computed in u128 to avoid
+        // overflow (bytes can be a whole flow for ideal-FCT math).
+        let num = (bytes.0 as u128) * 8 * 1_000_000_000;
+        let den = self.0 as u128;
+        Nanos(num.div_ceil(den) as u64)
+    }
+
+    /// The number of bytes this rate delivers in `dur` (rounded down).
+    #[inline]
+    pub fn bytes_in(self, dur: Nanos) -> Bytes {
+        let num = (self.0 as u128) * (dur.0 as u128);
+        Bytes((num / (8 * 1_000_000_000)) as u64)
+    }
+
+    /// Bandwidth-delay product for a given round-trip time.
+    ///
+    /// This is the paper's `Token_Thresh` default: "the minimum BDP of the
+    /// network, which is about 50KB" for 100 Gbps and a ~4 µs base RTT.
+    #[inline]
+    pub fn bdp(self, rtt: Nanos) -> Bytes {
+        self.bytes_in(rtt)
+    }
+}
+
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.0;
+        if r >= 1_000_000_000 {
+            write!(f, "{:.2}Gbps", r as f64 / 1e9)
+        } else if r >= 1_000_000 {
+            write!(f, "{:.1}Mbps", r as f64 / 1e6)
+        } else {
+            write!(f, "{r}bps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(Bytes::from_kb(50), Bytes(50_000));
+        assert_eq!(Bytes::from_mb(1), Bytes(1_000_000));
+    }
+
+    #[test]
+    fn serialization_delay_exact_cases() {
+        // The two link speeds in the paper.
+        let host = BitRate::from_gbps(100);
+        let fabric = BitRate::from_gbps(400);
+        assert_eq!(host.serialization_delay(Bytes(1000)), Nanos(80));
+        assert_eq!(fabric.serialization_delay(Bytes(1000)), Nanos(20));
+    }
+
+    #[test]
+    fn serialization_delay_rounds_up() {
+        // 1 byte at 3 Gbps = 8/3 ns -> 3 ns.
+        assert_eq!(BitRate::from_gbps(3).serialization_delay(Bytes(1)), Nanos(3));
+    }
+
+    #[test]
+    fn serialization_delay_huge_flow_no_overflow() {
+        // A 10 GB flow at 100 Gbps takes 0.8 s.
+        let r = BitRate::from_gbps(100);
+        let d = r.serialization_delay(Bytes(10_000_000_000));
+        assert_eq!(d, Nanos(800_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rate")]
+    fn serialization_delay_zero_rate_panics() {
+        let _ = BitRate::ZERO.serialization_delay(Bytes(1));
+    }
+
+    #[test]
+    fn bytes_in_matches_rate() {
+        let r = BitRate::from_gbps(100); // 12.5 B/ns
+        assert_eq!(r.bytes_in(Nanos(80)), Bytes(1000));
+        assert_eq!(r.bytes_in(Nanos(1)), Bytes(12)); // floor(12.5)
+    }
+
+    #[test]
+    fn bdp_matches_paper_token_thresh() {
+        // 100 Gbps and a 4us RTT give the ~50KB minimum BDP quoted in VI-A.
+        let bdp = BitRate::from_gbps(100).bdp(Nanos::from_micros(4));
+        assert_eq!(bdp, Bytes(50_000));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(format!("{}", Bytes(512)), "512B");
+        assert_eq!(format!("{}", Bytes(50_000)), "50.0KB");
+        assert_eq!(format!("{}", Bytes(2_500_000)), "2.50MB");
+        assert_eq!(format!("{}", BitRate::from_gbps(100)), "100.00Gbps");
+        assert_eq!(format!("{}", BitRate::from_mbps(50)), "50.0Mbps");
+    }
+}

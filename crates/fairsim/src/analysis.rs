@@ -1,0 +1,130 @@
+//! Paired statistical comparison of two protocol runs.
+//!
+//! Because the workload is seeded independently of the protocol, two
+//! variants at the same seed see the *identical* flow list — so their
+//! per-flow slowdowns can be compared pairwise, which is far more
+//! sensitive than comparing marginal distributions: it answers "how many
+//! individual flows got faster, and by how much" instead of "did the
+//! histogram move".
+
+/// Per-flow raw outcome: `(flow id, size bytes, slowdown)`.
+pub type FlowOutcome = (u32, u64, f64);
+
+/// Paired comparison of a baseline against a treatment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairedComparison {
+    /// Flows present in both runs.
+    pub n: usize,
+    /// Fraction of flows whose slowdown improved (speedup > 1).
+    pub frac_improved: f64,
+    /// Geometric mean of per-flow speedups (baseline / treatment).
+    pub geomean_speedup: f64,
+    /// Same statistics restricted to flows larger than `long_cutoff`.
+    pub long_n: usize,
+    /// Fraction of long flows improved.
+    pub long_frac_improved: f64,
+    /// Geometric-mean speedup over long flows.
+    pub long_geomean_speedup: f64,
+}
+
+impl PairedComparison {
+    /// Compare `baseline` and `treatment` outcomes, pairing by flow id.
+    /// Flows missing from either run (e.g. unfinished at the drain
+    /// deadline) are skipped.
+    pub fn compute(
+        baseline: &[FlowOutcome],
+        treatment: &[FlowOutcome],
+        long_cutoff: u64,
+    ) -> PairedComparison {
+        use std::collections::HashMap;
+        let t: HashMap<u32, (u64, f64)> = treatment
+            .iter()
+            .map(|&(id, size, s)| (id, (size, s)))
+            .collect();
+        let mut n = 0usize;
+        let mut improved = 0usize;
+        let mut log_sum = 0.0f64;
+        let mut long_n = 0usize;
+        let mut long_improved = 0usize;
+        let mut long_log_sum = 0.0f64;
+        for &(id, size, base_s) in baseline {
+            let Some(&(t_size, treat_s)) = t.get(&id) else {
+                continue;
+            };
+            debug_assert_eq!(size, t_size, "paired flows must agree on size");
+            if base_s <= 0.0 || treat_s <= 0.0 {
+                continue;
+            }
+            let speedup = base_s / treat_s;
+            n += 1;
+            improved += (speedup > 1.0) as usize;
+            log_sum += speedup.ln();
+            if size > long_cutoff {
+                long_n += 1;
+                long_improved += (speedup > 1.0) as usize;
+                long_log_sum += speedup.ln();
+            }
+        }
+        PairedComparison {
+            n,
+            frac_improved: if n > 0 { improved as f64 / n as f64 } else { 0.0 },
+            geomean_speedup: if n > 0 { (log_sum / n as f64).exp() } else { 1.0 },
+            long_n,
+            long_frac_improved: if long_n > 0 {
+                long_improved as f64 / long_n as f64
+            } else {
+                0.0
+            },
+            long_geomean_speedup: if long_n > 0 {
+                (long_log_sum / long_n as f64).exp()
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_by_id_and_computes_geomean() {
+        let base = vec![(0u32, 1000u64, 4.0), (1, 2_000_000, 8.0), (2, 500, 2.0)];
+        let treat = vec![(0u32, 1000u64, 2.0), (1, 2_000_000, 2.0), (2, 500, 4.0)];
+        let c = PairedComparison::compute(&base, &treat, 1_000_000);
+        assert_eq!(c.n, 3);
+        // Speedups: 2, 4, 0.5 → geomean = (2*4*0.5)^(1/3) = 4^(1/3).
+        assert!((c.geomean_speedup - 4.0f64.powf(1.0 / 3.0)).abs() < 1e-12);
+        assert!((c.frac_improved - 2.0 / 3.0).abs() < 1e-12);
+        // Long flows: only flow 1 (speedup 4).
+        assert_eq!(c.long_n, 1);
+        assert_eq!(c.long_frac_improved, 1.0);
+        assert!((c.long_geomean_speedup - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_flows_are_skipped() {
+        let base = vec![(0u32, 1000u64, 4.0), (1, 1000, 4.0)];
+        let treat = vec![(0u32, 1000u64, 2.0)];
+        let c = PairedComparison::compute(&base, &treat, 1_000_000);
+        assert_eq!(c.n, 1);
+        assert_eq!(c.long_n, 0);
+        assert_eq!(c.long_geomean_speedup, 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_neutral() {
+        let c = PairedComparison::compute(&[], &[], 0);
+        assert_eq!(c.n, 0);
+        assert_eq!(c.geomean_speedup, 1.0);
+    }
+
+    #[test]
+    fn identical_runs_give_unity() {
+        let base = vec![(0u32, 1000u64, 3.0), (1, 2000, 5.0)];
+        let c = PairedComparison::compute(&base, &base, 0);
+        assert_eq!(c.frac_improved, 0.0); // strict improvement only
+        assert!((c.geomean_speedup - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Machine-readable result summaries (serde).
+//!
+//! The `repro` binary's `--json` mode emits these records so downstream
+//! plotting (matplotlib, gnuplot, spreadsheets) can consume experiment
+//! output without scraping text tables.
+
+use serde::Serialize;
+
+use crate::scenarios::{DatacenterResult, IncastResult, LONG_FLOW_BYTES};
+
+/// Scalar summary of one incast run.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct IncastSummary {
+    /// Figure-legend label.
+    pub label: String,
+    /// Time (µs) to converge to Jain ≥ 0.9 and stay there.
+    pub converge_us_at_0_9: Option<f64>,
+    /// ∫(1 − J) dt over the run, µs.
+    pub unfairness_integral: f64,
+    /// Peak bottleneck queue, bytes.
+    pub peak_queue_bytes: u64,
+    /// Mean bottleneck queue, bytes.
+    pub mean_queue_bytes: f64,
+    /// Last-minus-first completion, µs.
+    pub finish_spread_us: f64,
+    /// Whether every flow completed.
+    pub all_finished: bool,
+    /// `(start µs, finish µs)` per flow, start-ordered.
+    pub start_finish_us: Vec<(f64, f64)>,
+}
+
+impl From<&IncastResult> for IncastSummary {
+    fn from(r: &IncastResult) -> Self {
+        IncastSummary {
+            label: r.label.clone(),
+            converge_us_at_0_9: r.convergence_time(0.9),
+            unfairness_integral: r.unfairness_integral(),
+            peak_queue_bytes: r.peak_queue(),
+            mean_queue_bytes: r.mean_queue(),
+            finish_spread_us: r.finish_spread_us(),
+            all_finished: r.all_finished,
+            start_finish_us: r.start_finish(),
+        }
+    }
+}
+
+/// One slowdown bin in a datacenter summary.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct SlowdownBin {
+    /// Largest flow size in the bin, bytes.
+    pub size: u64,
+    /// Tail-percentile slowdown (99.9% by default).
+    pub tail: f64,
+    /// Median slowdown.
+    pub median: f64,
+}
+
+/// Scalar summary of one datacenter run.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct DatacenterSummary {
+    /// Figure-legend label.
+    pub label: String,
+    /// Flows offered.
+    pub n_flows: usize,
+    /// Flows completed before the drain deadline.
+    pub completed: usize,
+    /// Mean tail slowdown over bins with size > 1 MB.
+    pub long_flow_tail_mean: Option<f64>,
+    /// All bins, size-ascending.
+    pub bins: Vec<SlowdownBin>,
+}
+
+impl From<&DatacenterResult> for DatacenterSummary {
+    fn from(r: &DatacenterResult) -> Self {
+        DatacenterSummary {
+            label: r.label.clone(),
+            n_flows: r.n_flows,
+            completed: r.completed,
+            long_flow_tail_mean: r.table.mean_tail_above(LONG_FLOW_BYTES),
+            bins: r
+                .table
+                .points
+                .iter()
+                .map(|p| SlowdownBin {
+                    size: p.size,
+                    tail: p.tail,
+                    median: p.median,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Serialize any figure payload to pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("summaries are always serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcsim::Bytes;
+    use metrics::{SlowdownRecord, SlowdownTable};
+
+    fn incast_result() -> IncastResult {
+        IncastResult {
+            label: "HPCC".into(),
+            jain: vec![(0.0, 0.5), (10.0, 0.95), (20.0, 1.0)],
+            queue: vec![(0.0, 100), (10.0, 50)],
+            fcts: vec![netsim::FctRecord {
+                flow: netsim::FlowId(0),
+                size: Bytes(1000),
+                start: dcsim::Nanos(0),
+                finish: dcsim::Nanos(5_000),
+            }],
+            all_finished: true,
+        }
+    }
+
+    #[test]
+    fn incast_summary_roundtrips_to_json() {
+        let s = IncastSummary::from(&incast_result());
+        assert_eq!(s.label, "HPCC");
+        assert_eq!(s.peak_queue_bytes, 100);
+        assert_eq!(s.converge_us_at_0_9, Some(10.0));
+        let json = to_json(&s);
+        assert!(json.contains("\"label\": \"HPCC\""));
+        assert!(json.contains("\"all_finished\": true"));
+        // Valid JSON (parse back).
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["peak_queue_bytes"], 100);
+    }
+
+    #[test]
+    fn datacenter_summary_includes_bins() {
+        let table = SlowdownTable::build(
+            vec![
+                SlowdownRecord {
+                    size: 1_000,
+                    slowdown: 2.0,
+                },
+                SlowdownRecord {
+                    size: 2_000_000,
+                    slowdown: 10.0,
+                },
+            ],
+            2,
+            99.9,
+        );
+        let r = DatacenterResult {
+            label: "Swift".into(),
+            table,
+            n_flows: 2,
+            completed: 2,
+            raw: vec![(0, 1_000, 2.0), (1, 2_000_000, 10.0)],
+        };
+        let s = DatacenterSummary::from(&r);
+        assert_eq!(s.bins.len(), 2);
+        assert_eq!(s.long_flow_tail_mean, Some(10.0));
+        let json = to_json(&s);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["bins"][1]["size"], 2_000_000);
+    }
+}

@@ -1,0 +1,35 @@
+//! `fairsim` — the experiment layer tying the simulator, protocols,
+//! workloads, and metrics together into the paper's benchmarks.
+//!
+//! Everything here is driven by two scenario types:
+//!
+//! * [`scenarios::IncastScenario`] — the 16-1 / 96-1 staggered incast on a
+//!   single-switch star (Figures 1-3, 5, 6, 8, 9);
+//! * [`scenarios::DatacenterScenario`] — Poisson traffic from empirical
+//!   flow-size distributions on the 3-layer fat-tree (Figures 10-13).
+//!
+//! A [`spec::CcSpec`] names a protocol (HPCC / Swift / DCQCN) and a
+//! variant (default, high-AI, probabilistic, VAI, SF, VAI+SF), and builds
+//! per-flow congestion-control instances from a [`spec::NetEnv`]
+//! describing the topology's base RTT, line rate, and minimum BDP.
+//!
+//! `fairsim` is what the `repro` binary (in the `bench` crate) and the
+//! workspace examples call into; it contains no figure-rendering logic of
+//! its own beyond plain text/CSV tables ([`render`]).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod export;
+pub mod render;
+pub mod scenarios;
+pub mod series;
+pub mod spec;
+
+pub use analysis::PairedComparison;
+pub use export::{DatacenterSummary, IncastSummary};
+pub use scenarios::{
+    DatacenterResult, DatacenterScenario, IncastResult, IncastScenario, TraceResult,
+    TraceScenario,
+};
+pub use spec::{CcSpec, NetEnv, ProtocolKind, Variant};

@@ -1,0 +1,368 @@
+//! `fluid` — the fluid (ODE) model behind the Sampling Frequency
+//! convergence proof (paper Section IV-B and Figure 4).
+//!
+//! The paper models two multiplicative-decrease disciplines during a
+//! congestion episode:
+//!
+//! * **per-RTT decrease** — every flow decreases once per round trip, so
+//!   the decrease frequency is independent of the flow's rate:
+//!
+//!   ```text
+//!   R_i'(t) = −β · R_i(t) / r
+//!   ```
+//!
+//! * **Sampling Frequency** — a flow decreases every `s` ACKs, so the
+//!   decrease frequency `f = s·MTU / S_i(t)` is *inversely proportional to
+//!   its rate*, giving the quadratic law
+//!
+//!   ```text
+//!   S_i'(t) = −β · S_i(t)² / (s·MTU)
+//!   ```
+//!
+//! With two flows starting at `C1 > C0`, fairness is the rate gap
+//! (`R1−R0` resp. `S1−S0`); SF converges faster exactly when
+//! `1/r < (C1 + C0)/(s·MTU)` (high initial rates, frequent sampling, long
+//! RTTs — precisely the conditions right after a line-rate flow joins).
+//! Figure 4 plots the *difference of the gaps* over time for
+//! `r = 30000 ns`, `MTU = 1000 B`, `s = 30`, `β = 0.5`, rates 100 and
+//! 50 Gbps.
+
+#![warn(missing_docs)]
+
+/// Model parameters (paper Figure 4 caption).
+#[derive(Debug, Clone, Copy)]
+pub struct FluidParams {
+    /// Multiplicative-decrease strength β per decrease interval.
+    pub beta: f64,
+    /// Observed round-trip time `r`, nanoseconds.
+    pub rtt_ns: f64,
+    /// ACKs between decreases `s`.
+    pub s: f64,
+    /// Packet size, bytes.
+    pub mtu: f64,
+    /// Initial rate of the faster flow, bytes/ns.
+    pub c1: f64,
+    /// Initial rate of the slower flow, bytes/ns.
+    pub c0: f64,
+}
+
+impl FluidParams {
+    /// The exact parameterization of Figure 4: r = 30000 ns, s = 30,
+    /// MTU = 1000 B, β = 0.5, initial rates 100 Gbps and 50 Gbps
+    /// (12.5 and 6.25 bytes/ns).
+    pub fn figure4() -> Self {
+        FluidParams {
+            beta: 0.5,
+            rtt_ns: 30_000.0,
+            s: 30.0,
+            mtu: 1000.0,
+            c1: 12.5,
+            c0: 6.25,
+        }
+    }
+
+    /// The paper's convergence condition: Sampling Frequency closes the
+    /// fairness gap faster at t=0 iff `1/r < (C1 + C0)/(s·MTU)`.
+    pub fn sf_converges_faster(&self) -> bool {
+        1.0 / self.rtt_ns < (self.c1 + self.c0) / (self.s * self.mtu)
+    }
+}
+
+/// One integration sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidSample {
+    /// Time, nanoseconds.
+    pub t_ns: f64,
+    /// Per-RTT-model rates (bytes/ns).
+    pub r1: f64,
+    /// Per-RTT-model slower flow.
+    pub r0: f64,
+    /// SF-model faster flow.
+    pub s1: f64,
+    /// SF-model slower flow.
+    pub s0: f64,
+}
+
+impl FluidSample {
+    /// The per-RTT model's fairness gap `R1 − R0`.
+    pub fn gap_rtt(&self) -> f64 {
+        self.r1 - self.r0
+    }
+
+    /// The SF model's fairness gap `S1 − S0`.
+    pub fn gap_sf(&self) -> f64 {
+        self.s1 - self.s0
+    }
+
+    /// Figure 4's y-axis: `(R1−R0) − (S1−S0)`. Positive means SF is the
+    /// fairer discipline at this instant.
+    pub fn fairness_difference(&self) -> f64 {
+        self.gap_rtt() - self.gap_sf()
+    }
+}
+
+/// Integrate both models with explicit Euler steps.
+///
+/// `dt_ns` must be small relative to `rtt_ns` (the paper's dynamics have
+/// time constants of tens of microseconds; 1–10 ns steps are ample).
+/// Returns `n_samples + 1` evenly spaced samples covering `[0, horizon]`.
+pub fn integrate(
+    p: &FluidParams,
+    horizon_ns: f64,
+    dt_ns: f64,
+    n_samples: usize,
+) -> Vec<FluidSample> {
+    assert!(dt_ns > 0.0 && horizon_ns > 0.0 && n_samples > 0);
+    assert!(p.c1 >= p.c0, "flow 1 is the faster flow by convention");
+    let mut out = Vec::with_capacity(n_samples + 1);
+    let (mut r1, mut r0, mut s1, mut s0) = (p.c1, p.c0, p.c1, p.c0);
+    let sample_every = horizon_ns / n_samples as f64;
+    let mut next_sample = 0.0f64;
+    let mut t = 0.0f64;
+    loop {
+        if t >= next_sample - 1e-9 {
+            out.push(FluidSample { t_ns: t, r1, r0, s1, s0 });
+            next_sample += sample_every;
+            if out.len() > n_samples {
+                break;
+            }
+        }
+        // Per-RTT model: exponential decay at rate β/r.
+        r1 += -p.beta * r1 / p.rtt_ns * dt_ns;
+        r0 += -p.beta * r0 / p.rtt_ns * dt_ns;
+        // SF model: quadratic decay.
+        s1 += -p.beta * s1 * s1 / (p.s * p.mtu) * dt_ns;
+        s0 += -p.beta * s0 * s0 / (p.s * p.mtu) * dt_ns;
+        t += dt_ns;
+    }
+    out
+}
+
+/// Integrate both models with classic fourth-order Runge-Kutta steps.
+///
+/// The dynamics are smooth and stiff-free, so explicit Euler at small
+/// `dt` is already accurate; RK4 exists to *verify* that (the test suite
+/// cross-checks the two integrators) and to allow coarse steps when a
+/// caller sweeps many parameterizations.
+pub fn integrate_rk4(
+    p: &FluidParams,
+    horizon_ns: f64,
+    dt_ns: f64,
+    n_samples: usize,
+) -> Vec<FluidSample> {
+    assert!(dt_ns > 0.0 && horizon_ns > 0.0 && n_samples > 0);
+    assert!(p.c1 >= p.c0, "flow 1 is the faster flow by convention");
+    let f_rtt = |x: f64| -p.beta * x / p.rtt_ns;
+    let f_sf = |x: f64| -p.beta * x * x / (p.s * p.mtu);
+    let rk4 = |x: f64, f: &dyn Fn(f64) -> f64| {
+        let k1 = f(x);
+        let k2 = f(x + dt_ns / 2.0 * k1);
+        let k3 = f(x + dt_ns / 2.0 * k2);
+        let k4 = f(x + dt_ns * k3);
+        x + dt_ns / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+    };
+    let mut out = Vec::with_capacity(n_samples + 1);
+    let (mut r1, mut r0, mut s1, mut s0) = (p.c1, p.c0, p.c1, p.c0);
+    let sample_every = horizon_ns / n_samples as f64;
+    let mut next_sample = 0.0f64;
+    let mut t = 0.0f64;
+    loop {
+        if t >= next_sample - 1e-9 {
+            out.push(FluidSample { t_ns: t, r1, r0, s1, s0 });
+            next_sample += sample_every;
+            if out.len() > n_samples {
+                break;
+            }
+        }
+        r1 = rk4(r1, &f_rtt);
+        r0 = rk4(r0, &f_rtt);
+        s1 = rk4(s1, &f_sf);
+        s0 = rk4(s0, &f_sf);
+        t += dt_ns;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure4_satisfies_convergence_condition() {
+        let p = FluidParams::figure4();
+        // 1/30000 = 3.3e-5 < 18.75/30000 = 6.25e-4.
+        assert!(p.sf_converges_faster());
+    }
+
+    #[test]
+    fn condition_flips_for_slow_sampling() {
+        let p = FluidParams {
+            s: 30_000.0, // absurdly sparse sampling
+            ..FluidParams::figure4()
+        };
+        assert!(!p.sf_converges_faster());
+    }
+
+    #[test]
+    fn both_models_decay_monotonically() {
+        let p = FluidParams::figure4();
+        let samples = integrate(&p, 100_000.0, 5.0, 100);
+        for w in samples.windows(2) {
+            assert!(w[1].r1 <= w[0].r1);
+            assert!(w[1].s1 <= w[0].s1);
+            assert!(w[1].r0 <= w[0].r0);
+            assert!(w[1].s0 <= w[0].s0);
+        }
+    }
+
+    #[test]
+    fn per_rtt_model_matches_exponential_solution() {
+        // R(t) = C·exp(−βt/r) has a closed form; Euler at dt=1ns must track
+        // it to within 0.1% over 3 RTTs.
+        let p = FluidParams::figure4();
+        let samples = integrate(&p, 90_000.0, 1.0, 30);
+        for s in &samples {
+            let expect = p.c1 * (-p.beta * s.t_ns / p.rtt_ns).exp();
+            assert!(
+                (s.r1 - expect).abs() / expect < 1e-3,
+                "t={} euler={} exact={}",
+                s.t_ns,
+                s.r1,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn sf_model_matches_rational_solution() {
+        // S'(t) = −k·S² with k = β/(s·MTU) solves to S(t) = C/(1 + C·k·t).
+        let p = FluidParams::figure4();
+        let k = p.beta / (p.s * p.mtu);
+        let samples = integrate(&p, 90_000.0, 1.0, 30);
+        for s in &samples {
+            let expect = p.c1 / (1.0 + p.c1 * k * s.t_ns);
+            assert!(
+                (s.s1 - expect).abs() / expect < 1e-3,
+                "t={} euler={} exact={}",
+                s.t_ns,
+                s.s1,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn figure4_shape_positive_hump_then_decay() {
+        // The paper's Figure 4: the fairness difference starts at 0, rises
+        // (SF converges faster), peaks, then diminishes back toward 0.
+        let p = FluidParams::figure4();
+        let samples = integrate(&p, 500_000.0, 5.0, 500);
+        assert!(samples[0].fairness_difference().abs() < 1e-9);
+        let peak = samples
+            .iter()
+            .map(|s| s.fairness_difference())
+            .fold(f64::MIN, f64::max);
+        assert!(peak > 0.5, "peak fairness difference {peak} too small");
+        // All samples non-negative: SF is never *less* fair here.
+        for s in &samples {
+            assert!(s.fairness_difference() > -1e-9);
+        }
+        // The tail decays to under half the peak.
+        let tail = samples.last().unwrap().fairness_difference();
+        assert!(tail < peak / 2.0, "tail {tail} vs peak {peak}");
+    }
+
+    #[test]
+    fn sf_gap_closes_faster_than_rtt_gap() {
+        let p = FluidParams::figure4();
+        let samples = integrate(&p, 200_000.0, 5.0, 200);
+        // At every positive time, SF's flows are closer together.
+        for s in &samples[1..] {
+            assert!(s.gap_sf() <= s.gap_rtt() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rk4_and_euler_agree() {
+        let p = FluidParams::figure4();
+        let euler = integrate(&p, 200_000.0, 1.0, 40);
+        let rk4 = integrate_rk4(&p, 200_000.0, 50.0, 40);
+        for (a, b) in euler.iter().zip(&rk4) {
+            assert!((a.t_ns - b.t_ns).abs() < 100.0);
+            assert!(
+                (a.s1 - b.s1).abs() / a.s1.max(1e-9) < 2e-3,
+                "t={} euler={} rk4={}",
+                a.t_ns,
+                a.s1,
+                b.s1
+            );
+            assert!((a.r1 - b.r1).abs() / a.r1.max(1e-9) < 2e-3);
+        }
+    }
+
+    #[test]
+    fn rk4_matches_closed_forms_with_coarse_steps() {
+        // RK4 at dt = 100 ns should match the exact solutions as well as
+        // Euler at dt = 1 ns does.
+        let p = FluidParams::figure4();
+        let k = p.beta / (p.s * p.mtu);
+        for s in integrate_rk4(&p, 90_000.0, 100.0, 30) {
+            let exact_r = p.c1 * (-p.beta * s.t_ns / p.rtt_ns).exp();
+            let exact_s = p.c1 / (1.0 + p.c1 * k * s.t_ns);
+            assert!((s.r1 - exact_r).abs() / exact_r < 1e-3);
+            assert!((s.s1 - exact_s).abs() / exact_s < 1e-3);
+        }
+    }
+
+    proptest! {
+        /// The t=0 derivative condition from the paper: whenever
+        /// `1/r < (C1+C0)/(s·MTU)`, the fairness difference must become
+        /// positive immediately (and vice versa stay ~0/negative when the
+        /// inequality flips the other way hard).
+        #[test]
+        fn prop_initial_derivative_sign(
+            c1 in 2.0f64..20.0,
+            ratio in 0.1f64..0.9,
+            s in 5.0f64..100.0,
+            rtt in 5_000.0f64..100_000.0,
+        ) {
+            let p = FluidParams {
+                beta: 0.5,
+                rtt_ns: rtt,
+                s,
+                mtu: 1000.0,
+                c1,
+                c0: c1 * ratio,
+            };
+            let samples = integrate(&p, rtt / 10.0, 1.0, 10);
+            let early = samples[2].fairness_difference();
+            if p.sf_converges_faster() {
+                prop_assert!(early > 0.0, "expected SF to pull ahead, got {early}");
+            } else {
+                prop_assert!(early <= 1e-12, "expected per-RTT to hold, got {early}");
+            }
+        }
+
+        /// Rates stay positive and finite for any sane parameters.
+        #[test]
+        fn prop_rates_stay_positive(
+            c1 in 1.0f64..20.0,
+            s in 1.0f64..200.0,
+        ) {
+            let p = FluidParams {
+                beta: 0.5,
+                rtt_ns: 30_000.0,
+                s,
+                mtu: 1000.0,
+                c1,
+                c0: c1 / 2.0,
+            };
+            let samples = integrate(&p, 1_000_000.0, 10.0, 100);
+            for smp in samples {
+                prop_assert!(smp.r1 > 0.0 && smp.s1 > 0.0);
+                prop_assert!(smp.r1.is_finite() && smp.s1.is_finite());
+            }
+        }
+    }
+}

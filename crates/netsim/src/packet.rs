@@ -1,0 +1,203 @@
+//! Packets and the recycling pool.
+//!
+//! Packets are the hottest allocation in the simulator, so they are boxed
+//! once and recycled through a free list: a data packet's box is reused for
+//! its ACK at the receiver, and ACK boxes return to the pool when consumed
+//! at the sender.
+
+use dcsim::Nanos;
+use faircc::IntStack;
+
+use crate::ids::{FlowId, NodeId};
+
+/// What kind of frame this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Payload-carrying data segment of a flow.
+    Data,
+    /// Per-packet acknowledgement, carrying the echoed INT stack, ECN echo,
+    /// and send timestamp.
+    Ack,
+    /// DCQCN Congestion Notification Packet.
+    Cnp,
+    /// Go-back-N negative acknowledgement: `seq` carries the receiver's
+    /// expected byte offset; the sender rewinds there (lossy mode only).
+    Nack,
+}
+
+/// One frame in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Frame kind.
+    pub kind: PacketKind,
+    /// The flow this frame belongs to.
+    pub flow: FlowId,
+    /// Node the frame is travelling from (sender of this frame).
+    pub src: NodeId,
+    /// Node the frame is travelling to.
+    pub dst: NodeId,
+    /// For `Data`: byte offset of the first payload byte.
+    /// For `Ack`: cumulative acknowledgement (all bytes `< seq` received).
+    pub seq: u64,
+    /// Bytes on the wire (payload + headers for data, header-only for
+    /// ACK/CNP).
+    pub wire_size: u32,
+    /// Payload bytes carried (`Data`) or newly acknowledged (`Ack`).
+    pub payload: u32,
+    /// When the original data packet left the sender (echoed in the ACK so
+    /// the sender can compute an RTT).
+    pub sent_at: Nanos,
+    /// ECN congestion-experienced mark (set by RED, echoed by the ACK).
+    pub ecn: bool,
+    /// Number of switch egress ports traversed so far (Swift's hop count).
+    pub hops: u8,
+    /// INT telemetry accumulated on the forward path.
+    pub int: IntStack,
+}
+
+impl Packet {
+    /// A blank packet (pool backing storage).
+    fn blank() -> Self {
+        Packet {
+            kind: PacketKind::Data,
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(0),
+            seq: 0,
+            wire_size: 0,
+            payload: 0,
+            sent_at: Nanos::ZERO,
+            ecn: false,
+            hops: 0,
+            int: IntStack::new(),
+        }
+    }
+
+    /// Turn this (data) packet into its acknowledgement in place,
+    /// preserving the INT stack, ECN mark, hop count, and send timestamp,
+    /// and reversing the direction.
+    pub fn into_ack(&mut self, ack_wire_size: u32) {
+        debug_assert_eq!(self.kind, PacketKind::Data);
+        self.kind = PacketKind::Ack;
+        std::mem::swap(&mut self.src, &mut self.dst);
+        self.seq += self.payload as u64; // cumulative ack past this segment
+        self.payload = self.wire_size_payload();
+        self.wire_size = ack_wire_size;
+    }
+
+    fn wire_size_payload(&self) -> u32 {
+        self.payload
+    }
+}
+
+/// A free list of packet boxes.
+///
+/// `get` hands out a recycled box when available (INT stack cleared, all
+/// fields overwritten by the caller via the returned `&mut`), `put` returns
+/// one. The pool never shrinks; its high-water mark equals the peak number
+/// of packets simultaneously in flight.
+#[derive(Debug, Default)]
+pub struct PacketPool {
+    // Deliberately boxed: the same boxes circulate through the event
+    // queue, so the free list must hold allocations, not values.
+    #[allow(clippy::vec_box)]
+    free: Vec<Box<Packet>>,
+    allocated: u64,
+    recycled: u64,
+}
+
+impl PacketPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        PacketPool::default()
+    }
+
+    /// Acquire a packet box; fields are reset to blank.
+    pub fn get(&mut self) -> Box<Packet> {
+        match self.free.pop() {
+            Some(mut p) => {
+                self.recycled += 1;
+                *p = Packet::blank();
+                p
+            }
+            None => {
+                self.allocated += 1;
+                Box::new(Packet::blank())
+            }
+        }
+    }
+
+    /// Return a packet box to the pool.
+    pub fn put(&mut self, p: Box<Packet>) {
+        self.free.push(p);
+    }
+
+    /// (fresh allocations, recycled grabs) — instrumentation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.allocated, self.recycled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcsim::{BitRate, Bytes};
+    use faircc::IntHop;
+
+    #[test]
+    fn into_ack_reverses_and_accumulates() {
+        let mut p = Packet::blank();
+        p.kind = PacketKind::Data;
+        p.src = NodeId(1);
+        p.dst = NodeId(2);
+        p.seq = 5000;
+        p.payload = 1000;
+        p.wire_size = 1000;
+        p.sent_at = Nanos(42);
+        p.ecn = true;
+        p.int.push(IntHop {
+            qlen: Bytes(77),
+            tx_bytes: 1,
+            ts: Nanos(9),
+            rate: BitRate::from_gbps(100),
+        });
+
+        p.into_ack(60);
+        assert_eq!(p.kind, PacketKind::Ack);
+        assert_eq!(p.src, NodeId(2));
+        assert_eq!(p.dst, NodeId(1));
+        assert_eq!(p.seq, 6000); // cumulative
+        assert_eq!(p.wire_size, 60);
+        assert_eq!(p.sent_at, Nanos(42)); // echoed for RTT
+        assert!(p.ecn);
+        assert_eq!(p.int.len(), 1); // telemetry preserved
+    }
+
+    #[test]
+    fn pool_recycles() {
+        let mut pool = PacketPool::new();
+        let a = pool.get();
+        let b = pool.get();
+        pool.put(a);
+        pool.put(b);
+        let _c = pool.get();
+        let _d = pool.get();
+        let (alloc, recyc) = pool.stats();
+        assert_eq!(alloc, 2);
+        assert_eq!(recyc, 2);
+    }
+
+    #[test]
+    fn recycled_packets_are_blank() {
+        let mut pool = PacketPool::new();
+        let mut p = pool.get();
+        p.ecn = true;
+        p.seq = 99;
+        p.int.push(IntHop::default());
+        pool.put(p);
+        let q = pool.get();
+        assert!(!q.ecn);
+        assert_eq!(q.seq, 0);
+        assert!(q.int.is_empty());
+    }
+}

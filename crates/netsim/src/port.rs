@@ -1,0 +1,359 @@
+//! Egress ports: the transmit side of one link direction.
+//!
+//! A port owns the FIFO packet queue for its link direction, the cumulative
+//! transmit counter used by INT, the optional RED/ECN marking configuration,
+//! and picosecond-exact serialization accounting.
+
+use std::collections::VecDeque;
+
+use dcsim::{BitRate, Bytes, DetRng, Nanos};
+
+use crate::ids::{NodeId, PortNo};
+use crate::packet::Packet;
+use crate::pfc::PauseCounter;
+
+/// RED (Random Early Detection) ECN-marking parameters, as used by DCQCN.
+///
+/// A packet is marked with probability 0 below `kmin` bytes of queue,
+/// probability `pmax` at `kmax`, linearly interpolated in between, and
+/// probability 1 above `kmax`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedConfig {
+    /// Queue depth below which nothing is marked.
+    pub kmin: Bytes,
+    /// Queue depth at which marking probability reaches `pmax`.
+    pub kmax: Bytes,
+    /// Marking probability at `kmax` (DCQCN suggests small values; the
+    /// paper quotes 1% as the moderate-congestion maximum).
+    pub pmax: f64,
+}
+
+impl RedConfig {
+    /// DCQCN defaults scaled for 100 Gbps links (the HPCC artifact uses
+    /// kmin=100KB, kmax=400KB, pmax=0.05 at 100 Gbps).
+    pub fn dcqcn_100g() -> Self {
+        RedConfig {
+            kmin: Bytes::from_kb(100),
+            kmax: Bytes::from_kb(400),
+            pmax: 0.05,
+        }
+    }
+
+    /// Marking probability at queue depth `q`.
+    pub fn mark_probability(&self, q: Bytes) -> f64 {
+        if q <= self.kmin {
+            0.0
+        } else if q >= self.kmax {
+            1.0
+        } else {
+            self.pmax * (q.0 - self.kmin.0) as f64 / (self.kmax.0 - self.kmin.0) as f64
+        }
+    }
+}
+
+/// The transmit side of one link direction.
+#[derive(Debug)]
+pub struct Port {
+    /// The node and port this port's wire is attached to.
+    pub peer: (NodeId, PortNo),
+    /// Line rate of the link.
+    pub rate: BitRate,
+    /// Propagation delay of the link.
+    pub prop: Nanos,
+    /// Whether this port stamps INT telemetry on data packets at egress.
+    pub stamp_int: bool,
+    /// RED marking configuration (switch egress ports under DCQCN).
+    pub red: Option<RedConfig>,
+    /// Finite buffer for *data* packets, in bytes (`None` = deep-buffer
+    /// lossless abstraction). Control frames (ACK/CNP/NACK) always use
+    /// reserved headroom, as real RoCE switches prioritize them.
+    pub buffer_limit: Option<u64>,
+    /// Whether a packet is currently being serialized.
+    pub busy: bool,
+    /// PFC pause state: a paused port finishes the in-flight packet but
+    /// does not start the next one. Reference-counted because several
+    /// congested queues can pause the same port.
+    pub pause: PauseCounter,
+    /// PFC hysteresis: whether this queue is in the over-XOFF regime
+    /// (set crossing above XOFF, cleared crossing below XON).
+    pub pfc_over: bool,
+    queue: VecDeque<Box<Packet>>,
+    qbytes: u64,
+    max_qbytes: u64,
+    tx_bytes: u64,
+    tx_packets: u64,
+    dropped_packets: u64,
+    residue_ps: u64,
+}
+
+impl Port {
+    /// A new idle port.
+    pub fn new(peer: (NodeId, PortNo), rate: BitRate, prop: Nanos) -> Self {
+        assert!(rate.0 > 0, "links must have a positive rate");
+        Port {
+            peer,
+            rate,
+            prop,
+            stamp_int: true,
+            red: None,
+            buffer_limit: None,
+            busy: false,
+            pause: PauseCounter::default(),
+            pfc_over: false,
+            queue: VecDeque::new(),
+            qbytes: 0,
+            max_qbytes: 0,
+            tx_bytes: 0,
+            tx_packets: 0,
+            dropped_packets: 0,
+            residue_ps: 0,
+        }
+    }
+
+    /// Current queue backlog in bytes (excluding the packet on the wire).
+    #[inline]
+    pub fn qbytes(&self) -> u64 {
+        self.qbytes
+    }
+
+    /// High-water mark of the backlog over the whole run.
+    #[inline]
+    pub fn max_qbytes(&self) -> u64 {
+        self.max_qbytes
+    }
+
+    /// Cumulative bytes ever transmitted (the INT `txBytes` counter).
+    #[inline]
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes
+    }
+
+    /// Cumulative packets ever transmitted.
+    #[inline]
+    pub fn tx_packets(&self) -> u64 {
+        self.tx_packets
+    }
+
+    /// Number of queued packets.
+    #[inline]
+    pub fn qlen_packets(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Append a packet to the queue, RED-marking data packets if
+    /// configured and tail-dropping data packets that exceed a finite
+    /// buffer. Returns `Ok(true)` if the port was idle (the caller should
+    /// start transmission), `Ok(false)` if queued behind others, and
+    /// `Err(packet)` if the packet was dropped (caller recycles the box).
+    pub fn enqueue(
+        &mut self,
+        mut pkt: Box<Packet>,
+        red_rng: &mut DetRng,
+    ) -> Result<bool, Box<Packet>> {
+        if pkt.kind == crate::packet::PacketKind::Data {
+            if let Some(limit) = self.buffer_limit {
+                if self.qbytes + pkt.wire_size as u64 > limit {
+                    self.dropped_packets += 1;
+                    return Err(pkt);
+                }
+            }
+            if let Some(red) = self.red {
+                let p = red.mark_probability(Bytes(self.qbytes));
+                if p > 0.0 && red_rng.chance(p) {
+                    pkt.ecn = true;
+                }
+            }
+        }
+        self.qbytes += pkt.wire_size as u64;
+        self.max_qbytes = self.max_qbytes.max(self.qbytes);
+        self.queue.push_back(pkt);
+        Ok(!self.busy && !self.is_paused())
+    }
+
+    /// Number of data packets tail-dropped by the finite buffer.
+    #[inline]
+    pub fn dropped_packets(&self) -> u64 {
+        self.dropped_packets
+    }
+
+    /// Remove the head-of-line packet and account for its transmission.
+    /// Returns the packet and its serialization delay.
+    pub fn begin_tx(&mut self) -> Option<(Box<Packet>, Nanos)> {
+        let pkt = self.queue.pop_front()?;
+        self.qbytes -= pkt.wire_size as u64;
+        self.tx_bytes += pkt.wire_size as u64;
+        self.tx_packets += 1;
+        let delay = self.ser_delay(pkt.wire_size);
+        Some((pkt, delay))
+    }
+
+    /// Picosecond-exact serialization delay with residue carrying, so that
+    /// long-run throughput matches the line rate to within one ps per
+    /// packet even when `bytes * 8e9 / rate` is not a whole nanosecond.
+    fn ser_delay(&mut self, bytes: u32) -> Nanos {
+        let ps = (bytes as u128) * 8_000_000_000_000u128 / (self.rate.0 as u128);
+        let total = ps as u64 + self.residue_ps;
+        self.residue_ps = total % 1_000;
+        Nanos(total / 1_000)
+    }
+
+    /// Whether the queue has packets waiting.
+    #[inline]
+    pub fn has_backlog(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Whether PFC currently forbids starting a transmission.
+    #[inline]
+    pub fn is_paused(&self) -> bool {
+        self.pause.is_paused()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+    use crate::packet::{PacketKind, PacketPool};
+
+    fn data_pkt(pool: &mut PacketPool, size: u32) -> Box<Packet> {
+        let mut p = pool.get();
+        p.kind = PacketKind::Data;
+        p.flow = FlowId(0);
+        p.wire_size = size;
+        p.payload = size;
+        p
+    }
+
+    fn port(rate_gbps: u64) -> Port {
+        Port::new((NodeId(1), PortNo(0)), BitRate::from_gbps(rate_gbps), Nanos::MICRO)
+    }
+
+    #[test]
+    fn enqueue_dequeue_accounting() {
+        let mut pool = PacketPool::new();
+        let mut rng = DetRng::new(1);
+        let mut p = port(100);
+        assert!(p.enqueue(data_pkt(&mut pool, 1000), &mut rng).unwrap()); // idle → start
+        p.busy = true;
+        assert!(!p.enqueue(data_pkt(&mut pool, 500), &mut rng).unwrap()); // busy
+        assert_eq!(p.qbytes(), 1500);
+        assert_eq!(p.max_qbytes(), 1500);
+
+        let (pkt, delay) = p.begin_tx().unwrap();
+        assert_eq!(pkt.wire_size, 1000);
+        assert_eq!(delay, Nanos(80)); // 1000B @ 100Gbps
+        assert_eq!(p.qbytes(), 500);
+        assert_eq!(p.tx_bytes(), 1000);
+        assert_eq!(p.tx_packets(), 1);
+        assert_eq!(p.max_qbytes(), 1500); // high-water sticks
+    }
+
+    #[test]
+    fn ser_delay_residue_accumulates() {
+        // 60B at 100Gbps = 4.8 ns. Five of them must total exactly 24 ns.
+        let mut pool = PacketPool::new();
+        let mut rng = DetRng::new(1);
+        let mut p = port(100);
+        let mut total = Nanos::ZERO;
+        for _ in 0..5 {
+            p.enqueue(data_pkt(&mut pool, 60), &mut rng).unwrap();
+            let (_, d) = p.begin_tx().unwrap();
+            total += d;
+        }
+        assert_eq!(total, Nanos(24));
+    }
+
+    #[test]
+    fn red_marks_above_kmax_always() {
+        let mut pool = PacketPool::new();
+        let mut rng = DetRng::new(1);
+        let mut p = port(100);
+        p.red = Some(RedConfig {
+            kmin: Bytes(0),
+            kmax: Bytes(1),
+            pmax: 1.0,
+        });
+        // First packet sees empty queue (0 <= kmin=0 → no mark).
+        p.enqueue(data_pkt(&mut pool, 1000), &mut rng).unwrap();
+        p.busy = true;
+        // Second packet sees 1000 >= kmax → always marked.
+        p.enqueue(data_pkt(&mut pool, 1000), &mut rng).unwrap();
+        let (first, _) = p.begin_tx().unwrap();
+        let (second, _) = p.begin_tx().unwrap();
+        assert!(!first.ecn);
+        assert!(second.ecn);
+    }
+
+    #[test]
+    fn red_never_marks_acks() {
+        let mut pool = PacketPool::new();
+        let mut rng = DetRng::new(1);
+        let mut p = port(100);
+        p.red = Some(RedConfig {
+            kmin: Bytes(0),
+            kmax: Bytes(1),
+            pmax: 1.0,
+        });
+        let mut ack = pool.get();
+        ack.kind = PacketKind::Ack;
+        ack.wire_size = 60;
+        p.enqueue(data_pkt(&mut pool, 1000), &mut rng).unwrap(); // fill queue
+        p.busy = true;
+        p.enqueue(ack, &mut rng).unwrap();
+        p.begin_tx().unwrap();
+        let (ack_out, _) = p.begin_tx().unwrap();
+        assert!(!ack_out.ecn);
+    }
+
+    #[test]
+    fn red_probability_is_linear() {
+        let red = RedConfig {
+            kmin: Bytes(100),
+            kmax: Bytes(300),
+            pmax: 0.1,
+        };
+        assert_eq!(red.mark_probability(Bytes(50)), 0.0);
+        assert_eq!(red.mark_probability(Bytes(100)), 0.0);
+        assert!((red.mark_probability(Bytes(200)) - 0.05).abs() < 1e-12);
+        assert_eq!(red.mark_probability(Bytes(300)), 1.0);
+        assert_eq!(red.mark_probability(Bytes(400)), 1.0);
+    }
+
+    #[test]
+    fn paused_port_reports_no_start() {
+        let mut pool = PacketPool::new();
+        let mut rng = DetRng::new(1);
+        let mut p = port(100);
+        p.pause.apply(true);
+        assert!(!p.enqueue(data_pkt(&mut pool, 1000), &mut rng).unwrap());
+        assert!(p.has_backlog());
+    }
+
+    #[test]
+    fn finite_buffer_tail_drops_data_only() {
+        let mut pool = PacketPool::new();
+        let mut rng = DetRng::new(1);
+        let mut p = port(100);
+        p.buffer_limit = Some(1_500);
+        p.busy = true;
+        assert!(p.enqueue(data_pkt(&mut pool, 1000), &mut rng).is_ok());
+        // Second data packet exceeds the 1.5 KB budget: dropped.
+        let r = p.enqueue(data_pkt(&mut pool, 1000), &mut rng);
+        assert!(r.is_err());
+        assert_eq!(p.dropped_packets(), 1);
+        assert_eq!(p.qbytes(), 1000);
+        // Control frames ride reserved headroom: never dropped.
+        let mut ack = pool.get();
+        ack.kind = PacketKind::Ack;
+        ack.wire_size = 60;
+        assert!(p.enqueue(ack, &mut rng).is_ok());
+        assert_eq!(p.dropped_packets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn zero_rate_link_rejected() {
+        Port::new((NodeId(0), PortNo(0)), BitRate::ZERO, Nanos::ZERO);
+    }
+}

@@ -1,0 +1,26 @@
+//! `workloads` — traffic generation for the paper's benchmarks.
+//!
+//! Three generators:
+//!
+//! * [`incast::staggered_incast`] — the 16-1 / 96-1 incast
+//!   microbenchmark: `n` senders to one receiver, two 1 MB flows starting
+//!   every 20 µs (paper Section III-D).
+//! * [`distributions`] — empirical flow-size CDFs for the three datacenter
+//!   applications (Facebook Hadoop, Microsoft WebSearch, Alibaba storage),
+//!   reconstructed to match the shape constraints the paper quotes; see
+//!   DESIGN.md for the substitution note.
+//! * [`arrivals::poisson_arrivals`] — the open-loop Poisson arrival
+//!   process that drives the fat-tree simulations at a target load
+//!   fraction (paper: 50% for 50 ms).
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod distributions;
+pub mod incast;
+pub mod trace;
+
+pub use arrivals::{permutation, poisson_arrivals, ArrivalConfig, FlowArrival};
+pub use distributions::{EmpiricalCdf, ALI_STORAGE, FB_HADOOP, WEBSEARCH};
+pub use incast::{staggered_incast, IncastConfig};
+pub use trace::{from_json, to_json, TraceRecord};

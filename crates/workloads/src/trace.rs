@@ -1,0 +1,108 @@
+//! Workload traces: serialize generated arrival lists so an experiment's
+//! exact traffic can be archived, diffed, or replayed outside the
+//! generator (the moral equivalent of the HPCC artifact's `flow.txt`
+//! inputs).
+
+use dcsim::{Bytes, Nanos};
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::FlowArrival;
+
+/// One line of a serialized trace (plain integers so the JSON is
+/// toolchain-neutral).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Source host index.
+    pub src: usize,
+    /// Destination host index.
+    pub dst: usize,
+    /// Flow size in bytes.
+    pub size_bytes: u64,
+    /// Start time in nanoseconds.
+    pub start_ns: u64,
+}
+
+impl From<&FlowArrival> for TraceRecord {
+    fn from(f: &FlowArrival) -> Self {
+        TraceRecord {
+            src: f.src,
+            dst: f.dst,
+            size_bytes: f.size.as_u64(),
+            start_ns: f.start.as_u64(),
+        }
+    }
+}
+
+impl From<&TraceRecord> for FlowArrival {
+    fn from(r: &TraceRecord) -> Self {
+        FlowArrival {
+            src: r.src,
+            dst: r.dst,
+            size: Bytes(r.size_bytes),
+            start: Nanos(r.start_ns),
+        }
+    }
+}
+
+/// Serialize an arrival list to JSON.
+pub fn to_json(flows: &[FlowArrival]) -> String {
+    let records: Vec<TraceRecord> = flows.iter().map(TraceRecord::from).collect();
+    serde_json::to_string(&records).expect("trace records are always serializable")
+}
+
+/// Parse an arrival list from JSON (inverse of [`to_json`]).
+pub fn from_json(json: &str) -> Result<Vec<FlowArrival>, serde_json::Error> {
+    let records: Vec<TraceRecord> = serde_json::from_str(json)?;
+    Ok(records.iter().map(FlowArrival::from).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{poisson_arrivals, ArrivalConfig};
+    use crate::distributions::fb_hadoop;
+    use dcsim::BitRate;
+
+    fn sample_flows() -> Vec<FlowArrival> {
+        poisson_arrivals(
+            &ArrivalConfig {
+                n_hosts: 8,
+                host_rate: BitRate::from_gbps(100),
+                load: 0.3,
+                horizon: Nanos::from_micros(200),
+                seed: 4,
+            },
+            &fb_hadoop(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let flows = sample_flows();
+        assert!(!flows.is_empty());
+        let json = to_json(&flows);
+        let back = from_json(&json).unwrap();
+        assert_eq!(flows, back);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let flows = vec![FlowArrival {
+            src: 1,
+            dst: 2,
+            size: Bytes(1000),
+            start: Nanos(5_000),
+        }];
+        let json = to_json(&flows);
+        assert_eq!(
+            json,
+            r#"[{"src":1,"dst":2,"size_bytes":1000,"start_ns":5000}]"#
+        );
+    }
+
+    #[test]
+    fn bad_json_is_an_error_not_a_panic() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json(r#"[{"src":1}]"#).is_err());
+    }
+}

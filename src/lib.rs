@@ -1,0 +1,28 @@
+//! `fairness-repro` — workspace facade.
+//!
+//! This crate re-exports the whole reproduction stack so the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`) can reach every layer through one dependency:
+//!
+//! * [`dcsim`] — the discrete-event engine;
+//! * [`netsim`] — the packet-level datacenter network model;
+//! * [`faircc`] — the paper's mechanisms (Variable AI, Sampling
+//!   Frequency) and the congestion-control trait;
+//! * [`cc_hpcc`] / [`cc_swift`] / [`cc_dcqcn`] — the protocols;
+//! * [`workloads`] / [`metrics`] / [`fluid`] — traffic, measurement, and
+//!   the analytic model;
+//! * [`fairsim`] — ready-made paper scenarios.
+//!
+//! Start with `examples/quickstart.rs`.
+
+pub use cc_dcqcn;
+pub use cc_hpcc;
+pub use cc_swift;
+pub use cc_timely;
+pub use dcsim;
+pub use faircc;
+pub use fairsim;
+pub use fluid;
+pub use metrics;
+pub use netsim;
+pub use workloads;

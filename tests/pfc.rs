@@ -1,0 +1,126 @@
+//! PFC integration: the paper's protocols keep queues so low that PFC
+//! never engages at realistic watermarks — and when a misbehaving sender
+//! does trip it, the fabric pauses instead of dropping.
+
+use fairness_repro::dcsim::{BitRate, Bytes, Nanos, Simulation};
+use fairness_repro::faircc::{AckFeedback, CcMode, CongestionControl, SenderLimits};
+use fairness_repro::fairsim::{CcSpec, ProtocolKind, Variant};
+use fairness_repro::netsim::pfc::PfcConfig;
+use fairness_repro::netsim::{FlowSpec, MonitorConfig, NetConfig, Topology};
+use fairness_repro::workloads::{staggered_incast, IncastConfig};
+
+/// Run the paper's 16-1 incast with PFC armed; return the peak queue.
+fn incast_peak_queue_with_pfc(cc: CcSpec) -> u64 {
+    let topo = Topology::paper_star(17);
+    let env = fairness_repro::fairsim::NetEnv::incast_star(topo.base_rtt);
+    let hosts = topo.hosts.clone();
+    let switch = topo.switches[0];
+    let mut net = topo.builder.build(
+        NetConfig {
+            pfc: Some(PfcConfig::default_100g()),
+            ..NetConfig::default()
+        },
+        MonitorConfig::default(),
+    );
+    let (n, p) = net.port_towards(switch, hosts[16]).unwrap();
+    for (i, f) in staggered_incast(&IncastConfig::paper_16_1()).iter().enumerate() {
+        net.add_flow(
+            FlowSpec {
+                src: hosts[f.src],
+                dst: hosts[f.dst],
+                size: f.size,
+                start: f.start,
+            },
+            cc.build(&env, i as u64),
+        );
+    }
+    let mut sim = Simulation::new(net);
+    {
+        let (w, q) = sim.split_mut();
+        w.prime(q);
+    }
+    sim.run_until(Nanos::from_millis(50));
+    let net = sim.world();
+    assert!(net.all_finished(), "{} stalled under PFC", cc.label());
+    net.node(n).ports[p.idx()].max_qbytes()
+}
+
+#[test]
+fn paper_protocols_never_trip_pfc() {
+    let xoff = PfcConfig::default_100g().xoff.as_u64();
+    for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift] {
+        for variant in [Variant::Default, Variant::VaiSf] {
+            let peak = incast_peak_queue_with_pfc(CcSpec::new(kind, variant));
+            assert!(
+                peak < xoff,
+                "{kind:?}/{variant:?} peak queue {peak} crossed XOFF {xoff}"
+            );
+        }
+    }
+}
+
+/// A sender that ignores all congestion feedback.
+struct Blaster;
+impl CongestionControl for Blaster {
+    fn on_ack(&mut self, _: &AckFeedback) {}
+    fn limits(&self) -> SenderLimits {
+        SenderLimits::rate_based(BitRate::from_gbps(100))
+    }
+    fn mode(&self) -> CcMode {
+        CcMode::Rate
+    }
+    fn name(&self) -> &str {
+        "blaster"
+    }
+}
+
+#[test]
+fn pfc_bounds_a_misbehaving_sender_without_loss() {
+    let topo = Topology::paper_star(4);
+    let hosts = topo.hosts.clone();
+    let switch = topo.switches[0];
+    let pfc = PfcConfig {
+        xoff: Bytes::from_kb(64),
+        xon: Bytes::from_kb(48),
+    };
+    let mut net = topo.builder.build(
+        NetConfig {
+            pfc: Some(pfc),
+            ..NetConfig::default()
+        },
+        MonitorConfig::default(),
+    );
+    let (n, p) = net.port_towards(switch, hosts[3]).unwrap();
+    for i in 0..3 {
+        net.add_flow(
+            FlowSpec {
+                src: hosts[i],
+                dst: hosts[3],
+                size: Bytes::from_mb(1),
+                start: Nanos::ZERO,
+            },
+            Box::new(Blaster),
+        );
+    }
+    let mut sim = Simulation::new(net);
+    {
+        let (w, q) = sim.split_mut();
+        w.prime(q);
+    }
+    sim.run_until(Nanos::from_millis(20));
+    let net = sim.world();
+    // Lossless: every byte of every flow was delivered despite 3x
+    // overload, because PFC paused the NICs instead of dropping.
+    assert!(net.all_finished());
+    // And the switch buffer stayed near the watermark: xoff plus the
+    // pause-reaction slop (200 Gbps excess for ~1 us of PAUSE propagation
+    // = 25 KB) plus up to three links' worth of in-flight packets
+    // (3 x 12.5 KB) that land after the pause takes effect.
+    let peak = net.node(n).ports[p.idx()].max_qbytes();
+    assert!(
+        peak < pfc.xoff.as_u64() + 70_000,
+        "peak {} far above xoff {}",
+        peak,
+        pfc.xoff.as_u64()
+    );
+}

@@ -1,0 +1,133 @@
+//! Property-based integration tests: random topologies and traffic must
+//! uphold the simulator's conservation invariants.
+
+use fairness_repro::dcsim::{BitRate, Bytes, Nanos, Simulation};
+use fairness_repro::faircc::{AckFeedback, CcMode, CongestionControl, SenderLimits};
+use fairness_repro::netsim::{FlowSpec, MonitorConfig, NetBuilder, NetConfig};
+use proptest::prelude::*;
+
+struct FixedRate(BitRate);
+impl CongestionControl for FixedRate {
+    fn on_ack(&mut self, _: &AckFeedback) {}
+    fn limits(&self) -> SenderLimits {
+        SenderLimits::rate_based(self.0)
+    }
+    fn mode(&self) -> CcMode {
+        CcMode::Rate
+    }
+    fn name(&self) -> &str {
+        "fixed"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On a random star with random fixed-rate flows, every flow always
+    /// completes, every byte is conserved (acked == size), and no FCT
+    /// beats the physics bound size/line_rate.
+    #[test]
+    fn prop_star_flows_complete_and_conserve_bytes(
+        n_hosts in 3usize..10,
+        flows in prop::collection::vec(
+            (0usize..20, 0usize..20, 10_000u64..500_000, 0u64..200, 1u64..80),
+            1..12,
+        ),
+    ) {
+        let mut b = NetBuilder::new();
+        let hosts: Vec<_> = (0..n_hosts).map(|_| b.add_host()).collect();
+        let sw = b.add_switch();
+        for &h in &hosts {
+            b.link(h, sw, BitRate::from_gbps(100), Nanos::MICRO);
+        }
+        let mut net = b.build(NetConfig::default(), MonitorConfig::default());
+        let mut specs = Vec::new();
+        for (src, dst, size, start_us, rate_g) in flows {
+            let src = src % n_hosts;
+            let dst = dst % n_hosts;
+            if src == dst {
+                continue;
+            }
+            specs.push((src, dst, size));
+            net.add_flow(
+                FlowSpec {
+                    src: hosts[src],
+                    dst: hosts[dst],
+                    size: Bytes(size),
+                    start: Nanos::from_micros(start_us),
+                },
+                Box::new(FixedRate(BitRate::from_gbps(rate_g))),
+            );
+        }
+        prop_assume!(!specs.is_empty());
+        let mut sim = Simulation::new(net);
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
+        sim.run_until(Nanos::from_millis(200));
+        let net = sim.world();
+        prop_assert!(net.all_finished(), "some flow never completed");
+        for (i, rec) in net.monitor.fcts().iter().enumerate() {
+            let f = net.flow(rec.flow);
+            // Byte conservation: the sender accounted exactly the flow
+            // size, no more (no duplication), no less (no loss).
+            prop_assert_eq!(f.acked, f.spec.size.0);
+            prop_assert_eq!(f.sent, f.spec.size.0);
+            // Physics: FCT at least size / line-rate.
+            let floor = BitRate::from_gbps(100).serialization_delay(f.spec.size);
+            prop_assert!(
+                rec.fct() >= floor,
+                "flow {} FCT {:?} beat serialization floor {:?}",
+                i, rec.fct(), floor
+            );
+        }
+    }
+
+    /// The event engine never runs time backwards and conserves
+    /// pushes/pops across arbitrary interleaving (driven through the
+    /// whole network stack rather than the raw queue).
+    #[test]
+    fn prop_simulation_time_monotone(seed in 0u64..1000) {
+        let mut b = NetBuilder::new();
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let sw = b.add_switch();
+        b.link(h0, sw, BitRate::from_gbps(100), Nanos::MICRO);
+        b.link(h1, sw, BitRate::from_gbps(100), Nanos::MICRO);
+        let mut net = b.build(
+            NetConfig { seed, ..NetConfig::default() },
+            MonitorConfig {
+                sample_interval: Some(Nanos::from_micros(7)),
+                sample_until: Nanos::from_millis(1),
+                watch_ports: vec![],
+                track_flow_rates: true,
+            },
+        );
+        net.add_flow(
+            FlowSpec {
+                src: h0,
+                dst: h1,
+                size: Bytes(100_000),
+                start: Nanos::ZERO,
+            },
+            Box::new(FixedRate(BitRate::from_gbps(50))),
+        );
+        let mut sim = Simulation::new(net);
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
+        let mut last = Nanos::ZERO;
+        while sim.step() {
+            prop_assert!(sim.now() >= last);
+            last = sim.now();
+        }
+        prop_assert!(sim.world().all_finished());
+        // Samples are strictly time-ordered.
+        let samples = sim.world().monitor.samples();
+        for w in samples.windows(2) {
+            prop_assert!(w[1].t > w[0].t);
+        }
+    }
+}
