@@ -1,18 +1,34 @@
-//! One Criterion benchmark per paper figure (scaled-down inputs so the
-//! whole suite completes in minutes — the full regeneration lives in the
-//! `repro` binary).
+//! One benchmark per paper figure (scaled-down inputs so the whole suite
+//! completes in minutes — the full regeneration lives in the `repro`
+//! binary).
 //!
 //! * `fig1/fig2/fig3/fig5/fig6/fig8/fig9` — incast kernels (8-1, smaller
 //!   flows) per protocol/variant.
 //! * `fig4` — the fluid-model integration at full fidelity.
 //! * `fig10-fig13` — datacenter kernel (tiny fat-tree, short horizon) for
 //!   the Hadoop and WebSearch+Storage mixes.
+//!
+//! Criterion-free: each kernel is timed with `Instant` and the best of a
+//! few passes is printed (see `benches/engine.rs` for the rationale).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dcsim::{Bytes, Nanos};
+use std::hint::black_box;
+use std::time::Instant;
+
+use dcsim::{Bytes, Nanos, SchedulerKind};
 use fairsim::{CcSpec, DatacenterScenario, IncastScenario, ProtocolKind, Variant};
 use netsim::FatTreeConfig;
 use workloads::{distributions, IncastConfig};
+
+fn bench<T>(name: &str, passes: usize, mut f: impl FnMut() -> T) {
+    black_box(f()); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    println!("{name:<32} {:>10.1} ms", best * 1e3);
+}
 
 fn incast_kernel(cc: CcSpec) -> usize {
     let sc = IncastScenario {
@@ -26,6 +42,7 @@ fn incast_kernel(cc: CcSpec) -> usize {
         seed: 42,
         sample_interval: Nanos::from_micros(10),
         horizon: Nanos::from_millis(10),
+        scheduler: SchedulerKind::default(),
     };
     let res = sc.run();
     assert!(res.all_finished);
@@ -47,14 +64,13 @@ fn datacenter_kernel(cc: CcSpec, workload_names: &[&str]) -> usize {
         horizon: Nanos::from_micros(200),
         cc,
         seed: 42,
+        scheduler: SchedulerKind::default(),
     };
     sc.run().completed
 }
 
-fn bench_incast_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("incast_figures");
-    g.sample_size(10);
-    // Figures 1-3: the baselines.
+fn bench_incast_figures() {
+    // Figures 1-3: the baselines; 5/6/8/9: the paper's mechanisms.
     for (fig, kind, variant) in [
         ("fig1_hpcc_default", ProtocolKind::Hpcc, Variant::Default),
         ("fig1_hpcc_1gbps", ProtocolKind::Hpcc, Variant::HighAi),
@@ -62,31 +78,23 @@ fn bench_incast_figures(c: &mut Criterion) {
         ("fig1_swift_default", ProtocolKind::Swift, Variant::Default),
         ("fig2_hpcc_scatter", ProtocolKind::Hpcc, Variant::Default),
         ("fig3_swift_scatter", ProtocolKind::Swift, Variant::Default),
-        // Figures 5/6/8/9: the paper's mechanisms.
         ("fig5_hpcc_vai_sf", ProtocolKind::Hpcc, Variant::VaiSf),
         ("fig6_swift_vai_sf", ProtocolKind::Swift, Variant::VaiSf),
         ("fig8_hpcc_vai_sf", ProtocolKind::Hpcc, Variant::VaiSf),
         ("fig9_swift_vai_sf", ProtocolKind::Swift, Variant::VaiSf),
     ] {
-        g.bench_function(fig, |b| {
-            b.iter(|| black_box(incast_kernel(CcSpec::new(kind, variant))))
-        });
+        bench(fig, 3, || incast_kernel(CcSpec::new(kind, variant)));
     }
-    g.finish();
 }
 
-fn bench_fluid_figure(c: &mut Criterion) {
-    c.bench_function("fig4_fluid_integration", |b| {
-        b.iter(|| {
-            let p = fluid::FluidParams::figure4();
-            black_box(fluid::integrate(&p, 600_000.0, 5.0, 100))
-        })
+fn bench_fluid_figure() {
+    bench("fig4_fluid_integration", 5, || {
+        let p = fluid::FluidParams::figure4();
+        fluid::integrate(&p, 600_000.0, 5.0, 100)
     });
 }
 
-fn bench_datacenter_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("datacenter_figures");
-    g.sample_size(10);
+fn bench_datacenter_figures() {
     for (fig, kind, variant, wl) in [
         (
             "fig10_hadoop_hpcc",
@@ -119,60 +127,42 @@ fn bench_datacenter_figures(c: &mut Criterion) {
             vec![distributions::WEBSEARCH, distributions::ALI_STORAGE],
         ),
     ] {
-        g.bench_function(fig, |b| {
-            b.iter(|| black_box(datacenter_kernel(CcSpec::new(kind, variant), &wl)))
+        bench(fig, 3, || {
+            datacenter_kernel(CcSpec::new(kind, variant), &wl)
         });
     }
-    g.finish();
 }
 
-fn bench_extension_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extension_kernels");
-    g.sample_size(10);
+fn bench_extension_kernels() {
     // Timely on the small incast (ablation-timely kernel).
-    g.bench_function("ablation_timely_incast", |b| {
-        b.iter(|| {
-            black_box(incast_kernel(CcSpec::new(
-                ProtocolKind::Timely,
-                Variant::VaiSf,
-            )))
-        })
+    bench("ablation_timely_incast", 3, || {
+        incast_kernel(CcSpec::new(ProtocolKind::Timely, Variant::VaiSf))
     });
     // Lossy mode: finite buffers + go-back-N recovery.
-    g.bench_function("lossy_go_back_n_incast", |b| {
-        use fairness_kernel::lossy_incast;
-        b.iter(|| black_box(lossy_incast()))
-    });
+    bench("lossy_go_back_n_incast", 3, fairness_kernel::lossy_incast);
     // Permutation replay through the TraceScenario runner.
-    g.bench_function("ablation_permutation_trace", |b| {
-        b.iter(|| {
-            let arrivals = workloads::permutation(
-                8,
-                Bytes::from_kb(250),
-                Nanos::ZERO,
-                7,
-            );
-            let res = fairsim::TraceScenario {
-                fat_tree: FatTreeConfig {
-                    pods: 2,
-                    tors_per_pod: 1,
-                    aggs_per_pod: 1,
-                    hosts_per_tor: 4,
-                    spines: 1,
-                    ..FatTreeConfig::reduced()
-                },
-                arrivals,
-                cc: CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
-                seed: 7,
-                deadline: Nanos::from_millis(10),
-                sample_interval: None,
-            }
-            .run();
-            assert!(res.all_finished);
-            black_box(res.raw.len())
-        })
+    bench("ablation_permutation_trace", 3, || {
+        let arrivals = workloads::permutation(8, Bytes::from_kb(250), Nanos::ZERO, 7);
+        let res = fairsim::TraceScenario {
+            fat_tree: FatTreeConfig {
+                pods: 2,
+                tors_per_pod: 1,
+                aggs_per_pod: 1,
+                hosts_per_tor: 4,
+                spines: 1,
+                ..FatTreeConfig::reduced()
+            },
+            arrivals,
+            cc: CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+            seed: 7,
+            deadline: Nanos::from_millis(10),
+            sample_interval: None,
+            scheduler: SchedulerKind::default(),
+        }
+        .run();
+        assert!(res.all_finished);
+        res.raw.len()
     });
-    g.finish();
 }
 
 /// Small helper kept out of the hot closures.
@@ -235,11 +225,10 @@ mod fairness_kernel {
     }
 }
 
-criterion_group!(
-    benches,
-    bench_incast_figures,
-    bench_fluid_figure,
-    bench_datacenter_figures,
-    bench_extension_kernels
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<32} {:>13}", "benchmark", "best");
+    bench_incast_figures();
+    bench_fluid_figure();
+    bench_datacenter_figures();
+    bench_extension_kernels();
+}

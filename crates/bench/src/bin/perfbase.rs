@@ -1,0 +1,177 @@
+//! `perfbase` — machine-readable performance baseline for the event engine.
+//!
+//! Runs three workloads on both schedulers (binary heap and hierarchical
+//! timing wheel) and writes `BENCH_engine.json`:
+//!
+//! * `dense-timer` — 30k live timers in steady state, each pop
+//!   rescheduling a short delta ahead (the RTO/CC-timer population shape).
+//! * `incast` — the paper's 16-1 staggered incast under HPCC VAI+SF.
+//! * `fat-tree` — a reduced-scale datacenter run (Hadoop arrivals on a
+//!   32-host fat-tree).
+//!
+//! Each entry reports wall time, events dispatched, and events/sec; the
+//! top level records the wheel/heap speedup per workload. Usage:
+//!
+//! ```text
+//! perfbase [--out PATH] [--seed N]
+//! ```
+
+use std::time::Instant;
+
+use dcsim::{DetRng, EventQueue, Nanos, Scheduler, SchedulerKind, TimingWheel};
+use fairsim::{CcSpec, DatacenterScenario, IncastScenario, ProtocolKind, Variant};
+use minijson::{obj, Value};
+
+/// Timers alive at once in the dense-timer workload.
+const DENSE_LIVE: u32 = 30_000;
+/// Pop/reschedule cycles in the dense-timer workload.
+const DENSE_CHURN: u64 = 2_000_000;
+
+struct Measurement {
+    secs: f64,
+    events: u64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.secs
+    }
+
+    fn to_value(&self) -> Value {
+        obj([
+            ("secs", Value::from(self.secs)),
+            ("events", Value::from(self.events)),
+            ("events_per_sec", Value::from(self.events_per_sec().round())),
+        ])
+    }
+}
+
+/// Best-of-`passes` wall time for `f`, which reports its event count.
+fn measure(passes: usize, mut f: impl FnMut() -> u64) -> Measurement {
+    let mut events = f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let t0 = Instant::now();
+        events = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Measurement { secs: best, events }
+}
+
+/// Steady-state timer churn: every pop schedules a replacement a short
+/// random delta ahead, holding the pending population at `live`.
+fn dense_timer<S: Scheduler<u32> + Default>() -> u64 {
+    let mut q = S::default();
+    let mut rng = DetRng::new(9);
+    for i in 0..DENSE_LIVE {
+        q.push(Nanos(rng.below(8_000)), i);
+    }
+    for _ in 0..DENSE_CHURN {
+        let (t, id) = q.pop().expect("steady-state population");
+        q.push(t + Nanos(1 + rng.below(8_000)), id);
+    }
+    DENSE_CHURN + DENSE_LIVE as u64
+}
+
+fn incast(scheduler: SchedulerKind, seed: u64) -> u64 {
+    let mut sc = IncastScenario::paper(16, CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf), seed);
+    sc.scheduler = scheduler;
+    let res = sc.run();
+    assert!(res.all_finished, "incast must drain");
+    res.events_handled
+}
+
+fn fat_tree(scheduler: SchedulerKind, seed: u64) -> u64 {
+    let mut sc = DatacenterScenario::reduced(
+        vec![workloads::distributions::FB_HADOOP.to_string()],
+        CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+        seed,
+    );
+    // Half a millisecond of arrivals keeps the baseline itself fast while
+    // still exercising the full fat-tree event mix.
+    sc.horizon = Nanos::from_micros(500);
+    sc.scheduler = scheduler;
+    let res = sc.run();
+    assert!(res.completed > 0, "fat-tree run must complete flows");
+    res.events_handled
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut seed = bench::DEFAULT_SEED;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("perfbase: --out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("perfbase: --seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("perfbase: unknown argument {other}");
+                eprintln!("usage: perfbase [--out PATH] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    type Runner = Box<dyn Fn(SchedulerKind) -> u64>;
+    let workloads: Vec<(&str, usize, Runner)> = vec![
+        (
+            "dense-timer",
+            3,
+            Box::new(|k| match k {
+                SchedulerKind::Heap => dense_timer::<EventQueue<u32>>(),
+                SchedulerKind::Wheel => dense_timer::<TimingWheel<u32>>(),
+            }),
+        ),
+        ("incast", 2, Box::new(move |k| incast(k, seed))),
+        ("fat-tree", 2, Box::new(move |k| fat_tree(k, seed))),
+    ];
+
+    let mut entries = Vec::new();
+    for (name, passes, runner) in &workloads {
+        let heap = measure(*passes, || runner(SchedulerKind::Heap));
+        let wheel = measure(*passes, || runner(SchedulerKind::Wheel));
+        assert_eq!(
+            heap.events, wheel.events,
+            "{name}: schedulers must dispatch identical event counts"
+        );
+        let speedup = heap.secs / wheel.secs;
+        println!(
+            "{name:<12} heap {:>12.0} ev/s   wheel {:>12.0} ev/s   wheel/heap {speedup:.2}x",
+            heap.events_per_sec(),
+            wheel.events_per_sec(),
+        );
+        entries.push(obj([
+            ("name", Value::from(*name)),
+            ("events", Value::from(heap.events)),
+            ("heap", heap.to_value()),
+            ("wheel", wheel.to_value()),
+            ("wheel_speedup_over_heap", Value::from(speedup)),
+        ]));
+    }
+
+    let report = obj([
+        ("schema", Value::from("BENCH_engine/v1")),
+        ("seed", Value::from(seed)),
+        ("dense_live_timers", Value::from(u64::from(DENSE_LIVE))),
+        ("workloads", Value::Arr(entries)),
+    ]);
+    std::fs::write(&out_path, format!("{}\n", report.pretty())).unwrap_or_else(|e| {
+        eprintln!("perfbase: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}

@@ -22,12 +22,14 @@
 //! 50 ms (very slow).
 
 use bench::{run_figure, run_figure_json, Scale, ALL_FIGURES, DEFAULT_SEED};
+use fairsim::SchedulerKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Reduced;
     let mut seed = DEFAULT_SEED;
     let mut json = false;
+    let mut scheduler = SchedulerKind::default();
     let mut figures: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -41,6 +43,13 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--scheduler" => {
+                i += 1;
+                scheduler = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scheduler needs 'heap' or 'wheel'"));
             }
             "list" => {
                 for f in ALL_FIGURES {
@@ -68,9 +77,9 @@ fn main() {
 
     for f in &figures {
         let output = if json {
-            run_figure_json(f, scale, seed)
+            run_figure_json(f, scale, seed, scheduler)
         } else {
-            run_figure(f, scale, seed)
+            run_figure(f, scale, seed, scheduler)
         };
         match output {
             Some(output) => println!("{output}"),
@@ -83,7 +92,10 @@ fn main() {
 }
 
 fn print_usage() {
-    eprintln!("usage: repro <figure>... [--full-scale] [--seed N] [--json] | repro all | repro list");
+    eprintln!(
+        "usage: repro <figure>... [--full-scale] [--seed N] [--json] \
+         [--scheduler heap|wheel] | repro all | repro list"
+    );
     eprintln!("figures: {}", ALL_FIGURES.join(" "));
 }
 

@@ -14,7 +14,7 @@ use fairsim::scenarios::LONG_FLOW_BYTES;
 use fairsim::series::thin;
 use fairsim::{
     CcSpec, DatacenterResult, DatacenterScenario, IncastResult, IncastScenario, ProtocolKind,
-    Variant,
+    SchedulerKind, Variant,
 };
 use netsim::FatTreeConfig;
 use workloads::distributions;
@@ -31,18 +31,29 @@ pub enum Scale {
 /// Default seed used by the harness (override with `--seed`).
 pub const DEFAULT_SEED: u64 = 42;
 
-fn run_incasts(specs: &[CcSpec], senders: usize, seed: u64) -> Vec<IncastResult> {
+fn run_incasts(
+    specs: &[CcSpec],
+    senders: usize,
+    seed: u64,
+    scheduler: SchedulerKind,
+) -> Vec<IncastResult> {
     // Variants are independent: run them on scoped threads.
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = specs
             .iter()
             .map(|&cc| {
-                s.spawn(move |_| IncastScenario::paper(senders, cc, seed).run())
+                s.spawn(move || {
+                    let mut sc = IncastScenario::paper(senders, cc, seed);
+                    sc.scheduler = scheduler;
+                    sc.run()
+                })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scenario thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario thread"))
+            .collect()
     })
-    .expect("crossbeam scope")
 }
 
 fn run_datacenters(
@@ -50,10 +61,11 @@ fn run_datacenters(
     workload_names: &[&str],
     scale: Scale,
     seed: u64,
+    scheduler: SchedulerKind,
 ) -> Vec<DatacenterResult> {
     let make = |cc: CcSpec| {
         let names: Vec<String> = workload_names.iter().map(|s| s.to_string()).collect();
-        match scale {
+        let mut sc = match scale {
             Scale::Reduced => DatacenterScenario::reduced(names, cc, seed),
             Scale::Full => DatacenterScenario {
                 fat_tree: FatTreeConfig::paper(),
@@ -62,17 +74,22 @@ fn run_datacenters(
                 horizon: Nanos::from_millis(50),
                 cc,
                 seed,
+                scheduler: SchedulerKind::default(),
             },
-        }
+        };
+        sc.scheduler = scheduler;
+        sc
     };
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = specs
             .iter()
-            .map(|&cc| s.spawn(move |_| make(cc).run()))
+            .map(|&cc| s.spawn(move || make(cc).run()))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scenario thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario thread"))
+            .collect()
     })
-    .expect("crossbeam scope")
 }
 
 /// The variant set the paper's incast figures compare, per protocol.
@@ -103,7 +120,10 @@ fn render_jain_queue(title: &str, results: &[IncastResult], rows: usize) -> Stri
                 .jain
                 .iter()
                 .min_by(|a, b| {
-                    (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).expect("no NaN")
+                    (a.0 - t)
+                        .abs()
+                        .partial_cmp(&(b.0 - t).abs())
+                        .expect("no NaN")
                 })
                 .map(|&(_, j)| j);
             cells.push(v.map(f3).unwrap_or_else(|| "-".into()));
@@ -123,10 +143,16 @@ fn render_jain_queue(title: &str, results: &[IncastResult], rows: usize) -> Stri
                 .queue
                 .iter()
                 .min_by(|a, b| {
-                    (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).expect("no NaN")
+                    (a.0 - t)
+                        .abs()
+                        .partial_cmp(&(b.0 - t).abs())
+                        .expect("no NaN")
                 })
                 .map(|&(_, q)| q);
-            cells.push(v.map(|q| format!("{:.1}", q as f64 / 1e3)).unwrap_or_else(|| "-".into()));
+            cells.push(
+                v.map(|q| format!("{:.1}", q as f64 / 1e3))
+                    .unwrap_or_else(|| "-".into()),
+            );
         }
         q_tbl.row(cells);
     }
@@ -182,17 +208,21 @@ fn render_start_finish(title: &str, results: &[IncastResult]) -> String {
     out.push_str(&tbl.render());
     out.push_str("\nFinish spread (last - first completion):\n");
     for r in results {
-        out.push_str(&format!("  {:<22} {:>8.0} us\n", r.label, r.finish_spread_us()));
+        out.push_str(&format!(
+            "  {:<22} {:>8.0} us\n",
+            r.label,
+            r.finish_spread_us()
+        ));
     }
     out
 }
 
 /// Figure 1: Jain index and queue depth, 16-1 incast, HPCC and Swift
 /// baselines (default / 1 Gbps AI / probabilistic).
-pub fn fig1(seed: u64) -> String {
+pub fn fig1(seed: u64, scheduler: SchedulerKind) -> String {
     let mut out = String::new();
     for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift] {
-        let results = run_incasts(&incast_specs(kind, false), 16, seed);
+        let results = run_incasts(&incast_specs(kind, false), 16, seed, scheduler);
         let name = if kind == ProtocolKind::Hpcc {
             "Fig 1(a,b): 16-1 incast, HPCC"
         } else {
@@ -205,14 +235,24 @@ pub fn fig1(seed: u64) -> String {
 }
 
 /// Figure 2: start vs finish, 16-1 staggered incast, HPCC baselines.
-pub fn fig2(seed: u64) -> String {
-    let results = run_incasts(&incast_specs(ProtocolKind::Hpcc, false), 16, seed);
+pub fn fig2(seed: u64, scheduler: SchedulerKind) -> String {
+    let results = run_incasts(
+        &incast_specs(ProtocolKind::Hpcc, false),
+        16,
+        seed,
+        scheduler,
+    );
     render_start_finish("Fig 2: start vs finish, 16-1 incast, HPCC", &results)
 }
 
 /// Figure 3: start vs finish, 16-1 staggered incast, Swift baselines.
-pub fn fig3(seed: u64) -> String {
-    let results = run_incasts(&incast_specs(ProtocolKind::Swift, false), 16, seed);
+pub fn fig3(seed: u64, scheduler: SchedulerKind) -> String {
+    let results = run_incasts(
+        &incast_specs(ProtocolKind::Swift, false),
+        16,
+        seed,
+        scheduler,
+    );
     render_start_finish("Fig 3: start vs finish, 16-1 incast, Swift", &results)
 }
 
@@ -250,10 +290,15 @@ pub fn fig4() -> String {
 }
 
 /// Figure 5: 16-1 and 96-1 incast with HPCC variants including VAI SF.
-pub fn fig5(seed: u64) -> String {
+pub fn fig5(seed: u64, scheduler: SchedulerKind) -> String {
     let mut out = String::new();
     for (senders, tag) in [(16, "(a,b)"), (96, "(c,d)")] {
-        let results = run_incasts(&incast_specs(ProtocolKind::Hpcc, true), senders, seed);
+        let results = run_incasts(
+            &incast_specs(ProtocolKind::Hpcc, true),
+            senders,
+            seed,
+            scheduler,
+        );
         out.push_str(&render_jain_queue(
             &format!("Fig 5{tag}: {senders}-1 incast, HPCC"),
             &results,
@@ -265,10 +310,15 @@ pub fn fig5(seed: u64) -> String {
 }
 
 /// Figure 6: 16-1 and 96-1 incast with Swift variants including VAI SF.
-pub fn fig6(seed: u64) -> String {
+pub fn fig6(seed: u64, scheduler: SchedulerKind) -> String {
     let mut out = String::new();
     for (senders, tag) in [(16, "(a,b)"), (96, "(c,d)")] {
-        let results = run_incasts(&incast_specs(ProtocolKind::Swift, true), senders, seed);
+        let results = run_incasts(
+            &incast_specs(ProtocolKind::Swift, true),
+            senders,
+            seed,
+            scheduler,
+        );
         out.push_str(&render_jain_queue(
             &format!("Fig 6{tag}: {senders}-1 incast, Swift"),
             &results,
@@ -280,23 +330,29 @@ pub fn fig6(seed: u64) -> String {
 }
 
 /// Figure 8: start vs finish, HPCC default vs VAI SF.
-pub fn fig8(seed: u64) -> String {
+pub fn fig8(seed: u64, scheduler: SchedulerKind) -> String {
     let specs = [
         CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
         CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
     ];
-    let results = run_incasts(&specs, 16, seed);
-    render_start_finish("Fig 8: start vs finish, 16-1 incast, HPCC vs HPCC VAI SF", &results)
+    let results = run_incasts(&specs, 16, seed, scheduler);
+    render_start_finish(
+        "Fig 8: start vs finish, 16-1 incast, HPCC vs HPCC VAI SF",
+        &results,
+    )
 }
 
 /// Figure 9: start vs finish, Swift default vs VAI SF.
-pub fn fig9(seed: u64) -> String {
+pub fn fig9(seed: u64, scheduler: SchedulerKind) -> String {
     let specs = [
         CcSpec::new(ProtocolKind::Swift, Variant::Default),
         CcSpec::new(ProtocolKind::Swift, Variant::VaiSf),
     ];
-    let results = run_incasts(&specs, 16, seed);
-    render_start_finish("Fig 9: start vs finish, 16-1 incast, Swift vs Swift VAI SF", &results)
+    let results = run_incasts(&specs, 16, seed, scheduler);
+    render_start_finish(
+        "Fig 9: start vs finish, 16-1 incast, Swift vs Swift VAI SF",
+        &results,
+    )
 }
 
 /// The four datacenter variants of Figures 10-13.
@@ -309,12 +365,7 @@ fn datacenter_specs() -> Vec<CcSpec> {
     ]
 }
 
-fn render_slowdown(
-    title: &str,
-    results: &[DatacenterResult],
-    median: bool,
-    rows: usize,
-) -> String {
+fn render_slowdown(title: &str, results: &[DatacenterResult], median: bool, rows: usize) -> String {
     let mut out = format!("== {title} ==\n\n");
     for r in results {
         out.push_str(&format!(
@@ -360,11 +411,7 @@ fn render_slowdown(
             if pair.len() < 2 {
                 continue;
             }
-            let c = fairsim::PairedComparison::compute(
-                &pair[0].raw,
-                &pair[1].raw,
-                LONG_FLOW_BYTES,
-            );
+            let c = fairsim::PairedComparison::compute(&pair[0].raw, &pair[1].raw, LONG_FLOW_BYTES);
             out.push_str(&format!(
                 "  {} -> {}: {} paired flows; long flows (> {}): {:.0}% improved, \
                  geomean speedup {:.2}x\n",
@@ -401,8 +448,14 @@ fn render_slowdown(
 }
 
 /// Figure 10: 99.9% FCT slowdown vs flow size, Hadoop traffic.
-pub fn fig10(scale: Scale, seed: u64) -> String {
-    let results = run_datacenters(&datacenter_specs(), &[distributions::FB_HADOOP], scale, seed);
+pub fn fig10(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
+    let results = run_datacenters(
+        &datacenter_specs(),
+        &[distributions::FB_HADOOP],
+        scale,
+        seed,
+        scheduler,
+    );
     render_slowdown(
         "Fig 10: 99.9% FCT slowdown, Hadoop traffic",
         &results,
@@ -412,12 +465,13 @@ pub fn fig10(scale: Scale, seed: u64) -> String {
 }
 
 /// Figure 11: 99.9% FCT slowdown, WebSearch + Alibaba storage mix.
-pub fn fig11(scale: Scale, seed: u64) -> String {
+pub fn fig11(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
     let results = run_datacenters(
         &datacenter_specs(),
         &[distributions::WEBSEARCH, distributions::ALI_STORAGE],
         scale,
         seed,
+        scheduler,
     );
     render_slowdown(
         "Fig 11: 99.9% FCT slowdown, WebSearch + Storage traffic",
@@ -428,8 +482,14 @@ pub fn fig11(scale: Scale, seed: u64) -> String {
 }
 
 /// Figure 12: median FCT slowdown, Hadoop traffic.
-pub fn fig12(scale: Scale, seed: u64) -> String {
-    let results = run_datacenters(&datacenter_specs(), &[distributions::FB_HADOOP], scale, seed);
+pub fn fig12(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
+    let results = run_datacenters(
+        &datacenter_specs(),
+        &[distributions::FB_HADOOP],
+        scale,
+        seed,
+        scheduler,
+    );
     render_slowdown(
         "Fig 12: median FCT slowdown, Hadoop traffic",
         &results,
@@ -439,12 +499,13 @@ pub fn fig12(scale: Scale, seed: u64) -> String {
 }
 
 /// Figure 13: median FCT slowdown, WebSearch + Storage mix.
-pub fn fig13(scale: Scale, seed: u64) -> String {
+pub fn fig13(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
     let results = run_datacenters(
         &datacenter_specs(),
         &[distributions::WEBSEARCH, distributions::ALI_STORAGE],
         scale,
         seed,
+        scheduler,
     );
     render_slowdown(
         "Fig 13: median FCT slowdown, WebSearch + Storage traffic",
@@ -455,15 +516,19 @@ pub fn fig13(scale: Scale, seed: u64) -> String {
 }
 
 /// Ablation: VAI alone vs SF alone vs both (16-1 incast, HPCC).
-pub fn ablation_mechanisms(seed: u64) -> String {
+pub fn ablation_mechanisms(seed: u64, scheduler: SchedulerKind) -> String {
     let specs = [
         CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
         CcSpec::new(ProtocolKind::Hpcc, Variant::Vai),
         CcSpec::new(ProtocolKind::Hpcc, Variant::Sf),
         CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
     ];
-    let results = run_incasts(&specs, 16, seed);
-    render_jain_queue("Ablation: VAI / SF / VAI+SF, 16-1 incast, HPCC", &results, 25)
+    let results = run_incasts(&specs, 16, seed, scheduler);
+    render_jain_queue(
+        "Ablation: VAI / SF / VAI+SF, 16-1 incast, HPCC",
+        &results,
+        25,
+    )
 }
 
 /// Run the paper's staggered incast with a *custom* per-flow CC factory
@@ -472,13 +537,18 @@ pub fn ablation_mechanisms(seed: u64) -> String {
 fn run_incast_custom<F>(
     senders: usize,
     seed: u64,
+    scheduler: SchedulerKind,
     label: &str,
     make_cc: F,
 ) -> IncastResult
 where
     F: Fn(u64) -> Box<dyn faircc::CongestionControl>,
 {
-    let sc = IncastScenario::paper(senders, CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf), seed);
+    let sc = IncastScenario::paper(
+        senders,
+        CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+        seed,
+    );
     let topo = netsim::Topology::paper_star(senders + 1);
     let hosts = topo.hosts.clone();
     let switch = topo.switches[0];
@@ -507,13 +577,7 @@ where
             make_cc(seed.wrapping_mul(1009).wrapping_add(i as u64)),
         );
     }
-    let mut sim = dcsim::Simulation::new(net);
-    {
-        let (w, q) = sim.split_mut();
-        w.prime(q);
-    }
-    sim.run_until(sc.horizon);
-    let net = sim.into_world();
+    let (net, events_handled) = run_primed(net, sc.horizon, scheduler);
     let jain: Vec<(f64, f64)> = net
         .monitor
         .samples()
@@ -540,11 +604,39 @@ where
             .collect(),
         fcts: net.monitor.fcts().to_vec(),
         all_finished: net.all_finished(),
+        events_handled,
+    }
+}
+
+/// Prime and run `net` until `deadline` on the selected scheduler,
+/// returning the world and the number of events dispatched.
+fn run_primed(
+    net: netsim::Network,
+    deadline: Nanos,
+    scheduler: SchedulerKind,
+) -> (netsim::Network, u64) {
+    use dcsim::{EventQueue, Scheduler, Simulation, TimingWheel};
+    fn go<S: Scheduler<netsim::Event> + Default>(
+        net: netsim::Network,
+        deadline: Nanos,
+    ) -> (netsim::Network, u64) {
+        let mut sim = Simulation::with_scheduler(net, S::default());
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
+        sim.run_until(deadline);
+        let handled = sim.events_handled();
+        (sim.into_world(), handled)
+    }
+    match scheduler {
+        SchedulerKind::Heap => go::<EventQueue<netsim::Event>>(net, deadline),
+        SchedulerKind::Wheel => go::<TimingWheel<netsim::Event>>(net, deadline),
     }
 }
 
 /// Ablation: Sampling Frequency cadence sweep (s in {5, 15, 30, 60, 120}).
-pub fn ablation_sf(seed: u64) -> String {
+pub fn ablation_sf(seed: u64, scheduler: SchedulerKind) -> String {
     use cc_hpcc::{Hpcc, HpccConfig};
     use dcsim::{Bytes, DetRng};
     let mut out = String::from("== Ablation: SF cadence sweep, 16-1 incast, HPCC VAI+SF ==\n\n");
@@ -556,12 +648,9 @@ pub fn ablation_sf(seed: u64) -> String {
     ]);
     let base_rtt = netsim::Topology::paper_star(17).base_rtt;
     for s in [5u32, 15, 30, 60, 120] {
-        let res = run_incast_custom(16, seed, &format!("s={s}"), |fseed| {
-            let mut cfg = HpccConfig::vai_sf(
-                base_rtt,
-                dcsim::BitRate::from_gbps(100),
-                Bytes::from_kb(50),
-            );
+        let res = run_incast_custom(16, seed, scheduler, &format!("s={s}"), |fseed| {
+            let mut cfg =
+                HpccConfig::vai_sf(base_rtt, dcsim::BitRate::from_gbps(100), Bytes::from_kb(50));
             cfg.sf = Some(faircc::SfConfig {
                 acks_per_decrease: s,
             });
@@ -583,12 +672,10 @@ pub fn ablation_sf(seed: u64) -> String {
 /// Ablation: the VAI dampener (paper Section IV-A). Disabling it lets the
 /// elevated AI feed back into fresh congestion during a 96-1 incast; the
 /// dampener bounds queues at equal fairness.
-pub fn ablation_dampener(seed: u64) -> String {
+pub fn ablation_dampener(seed: u64, scheduler: SchedulerKind) -> String {
     use cc_hpcc::{Hpcc, HpccConfig};
     use dcsim::{Bytes, DetRng};
-    let mut out = String::from(
-        "== Ablation: VAI dampener on/off, 96-1 incast, HPCC VAI+SF ==\n\n",
-    );
+    let mut out = String::from("== Ablation: VAI dampener on/off, 96-1 incast, HPCC VAI+SF ==\n\n");
     let mut tbl = TextTable::new(vec![
         "dampener",
         "peak queue(KB)",
@@ -598,12 +685,9 @@ pub fn ablation_dampener(seed: u64) -> String {
     ]);
     let base_rtt = netsim::Topology::paper_star(97).base_rtt;
     for (label, constant) in [("enabled (8)", 8.0f64), ("disabled", f64::INFINITY)] {
-        let res = run_incast_custom(96, seed, label, |fseed| {
-            let mut cfg = HpccConfig::vai_sf(
-                base_rtt,
-                dcsim::BitRate::from_gbps(100),
-                Bytes::from_kb(50),
-            );
+        let res = run_incast_custom(96, seed, scheduler, label, |fseed| {
+            let mut cfg =
+                HpccConfig::vai_sf(base_rtt, dcsim::BitRate::from_gbps(100), Bytes::from_kb(50));
             if let Some(vai) = &mut cfg.vai {
                 // An infinite constant makes the divisor 1 regardless of
                 // the dampener value: the feedback brake is off.
@@ -631,14 +715,14 @@ pub fn ablation_dampener(seed: u64) -> String {
 /// suggestion for Swift's Hadoop median slowdown: "Swift may benefit
 /// from a hyper additive increase setting like in Timely, which can
 /// help grab available bandwidth").
-pub fn ablation_hyper_ai(scale: Scale, seed: u64) -> String {
+pub fn ablation_hyper_ai(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
     let specs = [
         CcSpec::new(ProtocolKind::Swift, Variant::Default),
         CcSpec::new(ProtocolKind::Swift, Variant::Default).with_hyper_ai(),
         CcSpec::new(ProtocolKind::Swift, Variant::VaiSf),
         CcSpec::new(ProtocolKind::Swift, Variant::VaiSf).with_hyper_ai(),
     ];
-    let results = run_datacenters(&specs, &[distributions::FB_HADOOP], scale, seed);
+    let results = run_datacenters(&specs, &[distributions::FB_HADOOP], scale, seed, scheduler);
     let mut out = render_slowdown(
         "Ablation: Swift hyper-AI (Timely-style), Hadoop traffic, median",
         &results,
@@ -657,13 +741,13 @@ pub fn ablation_hyper_ai(scale: Scale, seed: u64) -> String {
 /// nor sharing HPCC's or Swift's signal (RTT *gradient*). The paper
 /// claims the mechanisms are "broadly applicable to other sender
 /// reaction-based protocols"; this checks that claim.
-pub fn ablation_timely(seed: u64) -> String {
+pub fn ablation_timely(seed: u64, scheduler: SchedulerKind) -> String {
     let specs = [
         CcSpec::new(ProtocolKind::Timely, Variant::Default),
         CcSpec::new(ProtocolKind::Timely, Variant::Sf),
         CcSpec::new(ProtocolKind::Timely, Variant::VaiSf),
     ];
-    let results = run_incasts(&specs, 16, seed);
+    let results = run_incasts(&specs, 16, seed, scheduler);
     render_jain_queue(
         "Ablation: VAI+SF generality on Timely, 16-1 incast",
         &results,
@@ -678,7 +762,7 @@ pub fn ablation_timely(seed: u64) -> String {
 /// fat-tree (fabric links at host speed) where ECMP collisions create
 /// unequal shares. Convergence to fairness then decides how long the
 /// collided flows lag the clean ones.
-pub fn ablation_permutation(seed: u64) -> String {
+pub fn ablation_permutation(seed: u64, scheduler: SchedulerKind) -> String {
     use dcsim::Bytes;
     let fat_tree = FatTreeConfig {
         // Oversubscribed: fabric at host speed.
@@ -691,9 +775,8 @@ pub fn ablation_permutation(seed: u64) -> String {
         Nanos::ZERO,
         seed ^ 0xBEEF,
     );
-    let mut out = String::from(
-        "== Ablation: permutation traffic on an oversubscribed fat-tree ==\n\n",
-    );
+    let mut out =
+        String::from("== Ablation: permutation traffic on an oversubscribed fat-tree ==\n\n");
     let mut tbl = TextTable::new(vec![
         "variant",
         "finish spread(us)",
@@ -714,13 +797,10 @@ pub fn ablation_permutation(seed: u64) -> String {
             seed,
             deadline: Nanos::from_millis(50),
             sample_interval: None,
+            scheduler,
         }
         .run();
-        let finishes: Vec<f64> = res
-            .fcts
-            .iter()
-            .map(|r| r.finish.as_micros_f64())
-            .collect();
+        let finishes: Vec<f64> = res.fcts.iter().map(|r| r.finish.as_micros_f64()).collect();
         let spread = finishes.iter().cloned().fold(f64::MIN, f64::max)
             - finishes.iter().cloned().fold(f64::MAX, f64::min);
         let slowdowns: Vec<f64> = res.raw.iter().map(|&(_, _, s)| s).collect();
@@ -740,7 +820,7 @@ pub fn ablation_permutation(seed: u64) -> String {
 /// as well as decreases — the design the paper explicitly rejects because
 /// high-rate flows would then also increase more often. Expect fairness
 /// to regress relative to decrease-only SF.
-pub fn ablation_sf_increases(seed: u64) -> String {
+pub fn ablation_sf_increases(seed: u64, scheduler: SchedulerKind) -> String {
     use cc_hpcc::{Hpcc, HpccConfig};
     use dcsim::{Bytes, DetRng};
     let mut out = String::from(
@@ -754,7 +834,7 @@ pub fn ablation_sf_increases(seed: u64) -> String {
         "finish spread(us)",
     ]);
     for (label, on_increases) in [("SF decreases only (paper)", false), ("SF both ways", true)] {
-        let res = run_incast_custom(16, seed, label, |fseed| {
+        let res = run_incast_custom(16, seed, scheduler, label, |fseed| {
             let mut cfg =
                 HpccConfig::vai_sf(base_rtt, dcsim::BitRate::from_gbps(100), Bytes::from_kb(50));
             cfg.sf_on_increases = on_increases;
@@ -779,7 +859,7 @@ pub fn ablation_sf_increases(seed: u64) -> String {
 
 /// Ablation: incast-degree sweep — how the convergence benefit scales
 /// with the number of joining senders (8 to 96).
-pub fn ablation_degree(seed: u64) -> String {
+pub fn ablation_degree(seed: u64, scheduler: SchedulerKind) -> String {
     let mut out = String::from("== Ablation: incast-degree sweep, HPCC default vs VAI SF ==\n\n");
     let mut tbl = TextTable::new(vec![
         "senders",
@@ -795,6 +875,7 @@ pub fn ablation_degree(seed: u64) -> String {
             ],
             senders,
             seed,
+            scheduler,
         );
         let d = results[0].finish_spread_us();
         let v = results[1].finish_spread_us();
@@ -811,13 +892,15 @@ pub fn ablation_degree(seed: u64) -> String {
 
 /// Ablation: PFC headroom — verify that with PFC enabled at realistic
 /// watermarks, no experiment ever pauses (queues stay far below XOFF).
-pub fn ablation_pfc(seed: u64) -> String {
+pub fn ablation_pfc(seed: u64, scheduler: SchedulerKind) -> String {
     let mut out = String::from("== Ablation: PFC headroom, 16-1 incast ==\n\n");
     let mut tbl = TextTable::new(vec!["variant", "peak queue(KB)", "PFC XOFF(KB)", "margin"]);
     let xoff = netsim::pfc::PfcConfig::default_100g().xoff;
     for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift] {
         for variant in [Variant::Default, Variant::VaiSf] {
-            let res = IncastScenario::paper(16, CcSpec::new(kind, variant), seed).run();
+            let mut sc = IncastScenario::paper(16, CcSpec::new(kind, variant), seed);
+            sc.scheduler = scheduler;
+            let res = sc.run();
             let peak = res.peak_queue();
             tbl.row(vec![
                 res.label.clone(),
@@ -837,10 +920,15 @@ pub fn ablation_pfc(seed: u64) -> String {
 /// the datacenter figures (per-variant [`fairsim::DatacenterSummary`]),
 /// and fig4 (the fluid-model samples). `None` for unknown names or
 /// figures with no JSON form.
-pub fn run_figure_json(name: &str, scale: Scale, seed: u64) -> Option<String> {
+pub fn run_figure_json(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    scheduler: SchedulerKind,
+) -> Option<String> {
     use fairsim::export::{to_json, DatacenterSummary, IncastSummary};
     let incast = |specs: &[CcSpec], senders: usize| {
-        let summaries: Vec<IncastSummary> = run_incasts(specs, senders, seed)
+        let summaries: Vec<IncastSummary> = run_incasts(specs, senders, seed, scheduler)
             .iter()
             .map(IncastSummary::from)
             .collect();
@@ -848,7 +936,7 @@ pub fn run_figure_json(name: &str, scale: Scale, seed: u64) -> Option<String> {
     };
     let dc = |workloads: &[&str]| {
         let summaries: Vec<DatacenterSummary> =
-            run_datacenters(&datacenter_specs(), workloads, scale, seed)
+            run_datacenters(&datacenter_specs(), workloads, scale, seed, scheduler)
                 .iter()
                 .map(DatacenterSummary::from)
                 .collect();
@@ -859,7 +947,7 @@ pub fn run_figure_json(name: &str, scale: Scale, seed: u64) -> Option<String> {
             let mut all = Vec::new();
             for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift] {
                 all.extend(
-                    run_incasts(&incast_specs(kind, false), 16, seed)
+                    run_incasts(&incast_specs(kind, false), 16, seed, scheduler)
                         .iter()
                         .map(fairsim::IncastSummary::from),
                 );
@@ -885,11 +973,11 @@ pub fn run_figure_json(name: &str, scale: Scale, seed: u64) -> Option<String> {
         "fig4" => {
             let p = fluid::FluidParams::figure4();
             let samples = fluid::integrate(&p, 600_000.0, 5.0, 120);
-            let rows: Vec<(f64, f64, f64, f64)> = samples
+            let rows: Vec<minijson::Value> = samples
                 .iter()
-                .map(|s| (s.t_ns, s.gap_rtt(), s.gap_sf(), s.fairness_difference()))
+                .map(|s| minijson::arr([s.t_ns, s.gap_rtt(), s.gap_sf(), s.fairness_difference()]))
                 .collect();
-            fairsim::export::to_json(&rows)
+            minijson::Value::Arr(rows).pretty()
         }
         "fig10" | "fig12" => dc(&[distributions::FB_HADOOP]),
         "fig11" | "fig13" => dc(&[distributions::WEBSEARCH, distributions::ALI_STORAGE]),
@@ -898,37 +986,56 @@ pub fn run_figure_json(name: &str, scale: Scale, seed: u64) -> Option<String> {
 }
 
 /// Run a figure by name; `None` if unknown.
-pub fn run_figure(name: &str, scale: Scale, seed: u64) -> Option<String> {
+pub fn run_figure(name: &str, scale: Scale, seed: u64, scheduler: SchedulerKind) -> Option<String> {
     Some(match name {
-        "fig1" => fig1(seed),
-        "fig2" => fig2(seed),
-        "fig3" => fig3(seed),
+        "fig1" => fig1(seed, scheduler),
+        "fig2" => fig2(seed, scheduler),
+        "fig3" => fig3(seed, scheduler),
         "fig4" => fig4(),
-        "fig5" => fig5(seed),
-        "fig6" => fig6(seed),
-        "fig8" => fig8(seed),
-        "fig9" => fig9(seed),
-        "fig10" => fig10(scale, seed),
-        "fig11" => fig11(scale, seed),
-        "fig12" => fig12(scale, seed),
-        "fig13" => fig13(scale, seed),
-        "ablation-mechanisms" => ablation_mechanisms(seed),
-        "ablation-sf" => ablation_sf(seed),
-        "ablation-dampener" => ablation_dampener(seed),
-        "ablation-hyper-ai" => ablation_hyper_ai(scale, seed),
-        "ablation-timely" => ablation_timely(seed),
-        "ablation-permutation" => ablation_permutation(seed),
-        "ablation-sf-increases" => ablation_sf_increases(seed),
-        "ablation-degree" => ablation_degree(seed),
-        "ablation-pfc" => ablation_pfc(seed),
+        "fig5" => fig5(seed, scheduler),
+        "fig6" => fig6(seed, scheduler),
+        "fig8" => fig8(seed, scheduler),
+        "fig9" => fig9(seed, scheduler),
+        "fig10" => fig10(scale, seed, scheduler),
+        "fig11" => fig11(scale, seed, scheduler),
+        "fig12" => fig12(scale, seed, scheduler),
+        "fig13" => fig13(scale, seed, scheduler),
+        "ablation-mechanisms" => ablation_mechanisms(seed, scheduler),
+        "ablation-sf" => ablation_sf(seed, scheduler),
+        "ablation-dampener" => ablation_dampener(seed, scheduler),
+        "ablation-hyper-ai" => ablation_hyper_ai(scale, seed, scheduler),
+        "ablation-timely" => ablation_timely(seed, scheduler),
+        "ablation-permutation" => ablation_permutation(seed, scheduler),
+        "ablation-sf-increases" => ablation_sf_increases(seed, scheduler),
+        "ablation-degree" => ablation_degree(seed, scheduler),
+        "ablation-pfc" => ablation_pfc(seed, scheduler),
         _ => return None,
     })
 }
 
 /// Every figure name, in paper order.
 pub const ALL_FIGURES: &[&str] = &[
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "ablation-mechanisms", "ablation-sf", "ablation-dampener", "ablation-hyper-ai", "ablation-timely", "ablation-permutation", "ablation-sf-increases", "ablation-degree", "ablation-pfc",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablation-mechanisms",
+    "ablation-sf",
+    "ablation-dampener",
+    "ablation-hyper-ai",
+    "ablation-timely",
+    "ablation-permutation",
+    "ablation-sf-increases",
+    "ablation-degree",
+    "ablation-pfc",
 ];
 
 #[cfg(test)]
@@ -944,15 +1051,15 @@ mod tests {
 
     #[test]
     fn run_figure_rejects_unknown() {
-        assert!(run_figure("fig7", Scale::Reduced, 1).is_none()); // topology diagram
-        assert!(run_figure("fig4", Scale::Reduced, 1).is_some());
+        assert!(run_figure("fig7", Scale::Reduced, 1, SchedulerKind::Heap).is_none()); // topology diagram
+        assert!(run_figure("fig4", Scale::Reduced, 1, SchedulerKind::Heap).is_some());
     }
 
     #[test]
     fn fig4_json_is_valid() {
-        let json = run_figure_json("fig4", Scale::Reduced, 1).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let json = run_figure_json("fig4", Scale::Reduced, 1, SchedulerKind::Heap).unwrap();
+        let v = minijson::Value::parse(&json).unwrap();
         assert!(v.as_array().unwrap().len() > 100);
-        assert!(run_figure_json("ablation-pfc", Scale::Reduced, 1).is_none());
+        assert!(run_figure_json("ablation-pfc", Scale::Reduced, 1, SchedulerKind::Heap).is_none());
     }
 }

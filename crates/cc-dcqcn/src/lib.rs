@@ -267,7 +267,7 @@ mod tests {
         // Drive rate-timer events past fast recovery (F = 5).
         let mut now = Nanos(0);
         for _ in 0..7 {
-            now = now + d.cfg.rate_timer;
+            now += d.cfg.rate_timer;
             d.rate_due = now; // force the rate timer only
             d.alpha_due = now + Nanos::SEC;
             d.on_timer(now);
@@ -304,7 +304,10 @@ mod tests {
             d.on_timer(now);
         }
         assert!(d.rate() <= d.cfg.line_rate.as_f64());
-        assert!((d.rate() - 100e9).abs() < 1e9, "should recover to line rate");
+        assert!(
+            (d.rate() - 100e9).abs() < 1e9,
+            "should recover to line rate"
+        );
     }
 
     #[test]
@@ -323,7 +326,7 @@ mod tests {
         d.on_cnp(Nanos(0));
         let mut now = Nanos(0);
         for _ in 0..7 {
-            now = now + d.cfg.rate_timer;
+            now += d.cfg.rate_timer;
             d.rate_due = now;
             d.alpha_due = now + Nanos::SEC;
             d.on_timer(now);

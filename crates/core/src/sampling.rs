@@ -103,7 +103,7 @@ impl SamplingFrequency {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dcsim::DetRng;
 
     #[test]
     fn boundary_every_s_acks() {
@@ -155,15 +155,20 @@ mod tests {
         });
     }
 
-    proptest! {
-        /// Over any number of ACKs, the number of boundaries is exactly
-        /// floor(n / s) — the fairness property that a flow with k times
-        /// the ACK rate gets k times the decrease opportunities.
-        #[test]
-        fn prop_boundary_count_is_floor_div(n in 0u32..10_000, s in 1u32..100) {
-            let mut sf = SamplingFrequency::new(SfConfig { acks_per_decrease: s });
+    /// Over any number of ACKs, the number of boundaries is exactly
+    /// floor(n / s) — the fairness property that a flow with k times
+    /// the ACK rate gets k times the decrease opportunities.
+    #[test]
+    fn prop_boundary_count_is_floor_div() {
+        let mut rng = DetRng::new(0x5f);
+        for _ in 0..256 {
+            let n = rng.below(10_000) as u32;
+            let s = 1 + rng.below(99) as u32;
+            let mut sf = SamplingFrequency::new(SfConfig {
+                acks_per_decrease: s,
+            });
             let fires = (0..n).filter(|_| sf.on_ack()).count() as u32;
-            prop_assert_eq!(fires, n / s);
+            assert_eq!(fires, n / s, "n={n} s={s}");
         }
     }
 }

@@ -1,7 +1,8 @@
-//! The simulation driver: pulls events off the calendar queue in time order
+//! The simulation driver: pulls events off the scheduler in time order
 //! and dispatches them to a [`World`].
 
 use crate::queue::EventQueue;
+use crate::sched::Scheduler;
 use crate::time::Nanos;
 
 /// Domain logic plugged into the engine.
@@ -15,7 +16,10 @@ pub trait World {
 
     /// React to one event. New events are scheduled through `queue`; their
     /// times must be `>= now` (enforced by the engine in debug builds).
-    fn handle(&mut self, now: Nanos, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+    ///
+    /// Generic over the scheduler so a world runs unchanged on the binary
+    /// heap or the timing wheel; implementations just call `queue.push`.
+    fn handle<S: Scheduler<Self::Event>>(&mut self, now: Nanos, event: Self::Event, queue: &mut S);
 }
 
 /// Why a call to [`Simulation::run_until`] returned.
@@ -29,20 +33,33 @@ pub enum RunOutcome {
     BudgetExhausted,
 }
 
-/// A discrete-event simulation: a [`World`] plus a clock and calendar queue.
-pub struct Simulation<W: World> {
+/// A discrete-event simulation: a [`World`] plus a clock and a scheduler.
+///
+/// The scheduler type defaults to the binary-heap [`EventQueue`], so
+/// `Simulation<MyWorld>` keeps meaning what it always meant; hot harnesses
+/// opt into the timing wheel with
+/// [`with_scheduler`](Simulation::with_scheduler).
+pub struct Simulation<W: World, S: Scheduler<W::Event> = EventQueue<<W as World>::Event>> {
     world: W,
-    queue: EventQueue<W::Event>,
+    queue: S,
     now: Nanos,
     events_handled: u64,
 }
 
 impl<W: World> Simulation<W> {
-    /// Wrap a world with an empty schedule at time zero.
+    /// Wrap a world with an empty heap-backed schedule at time zero.
     pub fn new(world: W) -> Self {
+        Simulation::with_scheduler(world, EventQueue::new())
+    }
+}
+
+impl<W: World, S: Scheduler<W::Event>> Simulation<W, S> {
+    /// Wrap a world with an explicit scheduler (e.g. a
+    /// [`TimingWheel`](crate::TimingWheel)) at time zero.
+    pub fn with_scheduler(world: W, queue: S) -> Self {
         Simulation {
             world,
-            queue: EventQueue::new(),
+            queue,
             now: Nanos::ZERO,
             events_handled: 0,
         }
@@ -74,14 +91,14 @@ impl<W: World> Simulation<W> {
 
     /// Mutable access to the schedule (to seed initial events).
     #[inline]
-    pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
+    pub fn queue_mut(&mut self) -> &mut S {
         &mut self.queue
     }
 
     /// Simultaneous access to the world and the schedule, for setup code
     /// that reads world state while seeding events (e.g. `Network::prime`).
     #[inline]
-    pub fn split_mut(&mut self) -> (&mut W, &mut EventQueue<W::Event>) {
+    pub fn split_mut(&mut self) -> (&mut W, &mut S) {
         (&mut self.world, &mut self.queue)
     }
 
@@ -150,6 +167,7 @@ impl<W: World> Simulation<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wheel::TimingWheel;
 
     /// A world that records the order in which events arrive.
     struct Recorder {
@@ -158,7 +176,7 @@ mod tests {
 
     impl World for Recorder {
         type Event = u32;
-        fn handle(&mut self, now: Nanos, ev: u32, _q: &mut EventQueue<u32>) {
+        fn handle<S: Scheduler<u32>>(&mut self, now: Nanos, ev: u32, _q: &mut S) {
             self.seen.push((now, ev));
         }
     }
@@ -166,6 +184,20 @@ mod tests {
     #[test]
     fn dispatch_order_is_time_then_fifo() {
         let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.queue_mut().push(Nanos(20), 1);
+        sim.queue_mut().push(Nanos(10), 2);
+        sim.queue_mut().push(Nanos(20), 3);
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(
+            sim.world().seen,
+            vec![(Nanos(10), 2), (Nanos(20), 1), (Nanos(20), 3)]
+        );
+        assert_eq!(sim.events_handled(), 3);
+    }
+
+    #[test]
+    fn dispatch_order_is_identical_on_the_wheel() {
+        let mut sim = Simulation::with_scheduler(Recorder { seen: vec![] }, TimingWheel::new());
         sim.queue_mut().push(Nanos(20), 1);
         sim.queue_mut().push(Nanos(10), 2);
         sim.queue_mut().push(Nanos(20), 3);
@@ -202,7 +234,7 @@ mod tests {
     struct Ticker;
     impl World for Ticker {
         type Event = ();
-        fn handle(&mut self, now: Nanos, _: (), q: &mut EventQueue<()>) {
+        fn handle<S: Scheduler<()>>(&mut self, now: Nanos, _: (), q: &mut S) {
             q.push(now + Nanos(1), ());
         }
     }
@@ -232,7 +264,7 @@ mod tests {
         }
         impl World for Cascade {
             type Event = u8;
-            fn handle(&mut self, now: Nanos, depth: u8, q: &mut EventQueue<u8>) {
+            fn handle<S: Scheduler<u8>>(&mut self, now: Nanos, depth: u8, q: &mut S) {
                 self.ok &= now >= self.max_seen;
                 self.max_seen = self.max_seen.max(now);
                 if depth > 0 {
@@ -249,5 +281,16 @@ mod tests {
         sim.queue_mut().push(Nanos(1), 6);
         sim.run();
         assert!(sim.world().ok, "clock went backwards");
+
+        let mut sim = Simulation::with_scheduler(
+            Cascade {
+                max_seen: Nanos::ZERO,
+                ok: true,
+            },
+            TimingWheel::new(),
+        );
+        sim.queue_mut().push(Nanos(1), 6);
+        sim.run();
+        assert!(sim.world().ok, "clock went backwards on the wheel");
     }
 }

@@ -23,13 +23,13 @@
 //! # Quick example
 //!
 //! ```
-//! use dcsim::{Nanos, Simulation, World, EventQueue};
+//! use dcsim::{Nanos, Scheduler, Simulation, TimingWheel, World};
 //!
 //! struct Counter { fired: u64 }
 //!
 //! impl World for Counter {
 //!     type Event = u32;
-//!     fn handle(&mut self, now: Nanos, ev: u32, q: &mut EventQueue<u32>) {
+//!     fn handle<S: Scheduler<u32>>(&mut self, now: Nanos, ev: u32, q: &mut S) {
 //!         self.fired += 1;
 //!         if ev < 3 {
 //!             q.push(now + Nanos(10), ev + 1);
@@ -37,7 +37,15 @@
 //!     }
 //! }
 //!
+//! // Default scheduler: the binary-heap EventQueue.
 //! let mut sim = Simulation::new(Counter { fired: 0 });
+//! sim.queue_mut().push(Nanos(0), 0);
+//! sim.run();
+//! assert_eq!(sim.world().fired, 4);
+//! assert_eq!(sim.now(), Nanos(30));
+//!
+//! // Same world, timing-wheel scheduler — identical dispatch order.
+//! let mut sim = Simulation::with_scheduler(Counter { fired: 0 }, TimingWheel::new());
 //! sim.queue_mut().push(Nanos(0), 0);
 //! sim.run();
 //! assert_eq!(sim.world().fired, 4);
@@ -49,11 +57,15 @@
 pub mod engine;
 pub mod queue;
 pub mod rng;
+pub mod sched;
 pub mod time;
 pub mod units;
+pub mod wheel;
 
 pub use engine::{RunOutcome, Simulation, World};
 pub use queue::EventQueue;
 pub use rng::DetRng;
+pub use sched::{Scheduler, SchedulerKind};
 pub use time::Nanos;
 pub use units::{BitRate, Bytes};
+pub use wheel::TimingWheel;

@@ -10,6 +10,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::sched::Scheduler;
 use crate::time::Nanos;
 
 /// One scheduled entry. Private: users see only `(Nanos, E)` pairs.
@@ -134,10 +135,52 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E> Scheduler<E> for EventQueue<E> {
+    #[inline]
+    fn push(&mut self, at: Nanos, event: E) {
+        EventQueue::push(self, at, event)
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Nanos, E)> {
+        EventQueue::pop(self)
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<Nanos> {
+        EventQueue::peek_time(self)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        EventQueue::is_empty(self)
+    }
+
+    #[inline]
+    fn total_pushed(&self) -> u64 {
+        EventQueue::total_pushed(self)
+    }
+
+    #[inline]
+    fn total_popped(&self) -> u64 {
+        EventQueue::total_popped(self)
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        EventQueue::clear(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::DetRng;
 
     #[test]
     fn pops_in_time_order() {
@@ -195,11 +238,14 @@ mod tests {
         assert_eq!(q.len(), 1);
     }
 
-    proptest! {
-        /// Popping everything always yields a sequence sorted by time, and
-        /// within equal times, by push order.
-        #[test]
-        fn prop_pops_sorted_and_stable(times in prop::collection::vec(0u64..1000, 0..200)) {
+    /// Popping everything always yields a sequence sorted by time, and
+    /// within equal times, by push order.
+    #[test]
+    fn prop_pops_sorted_and_stable() {
+        let mut rng = DetRng::new(0x9_0e0e);
+        for _ in 0..256 {
+            let n = rng.below(200) as usize;
+            let times: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
             let mut q = EventQueue::new();
             for (i, t) in times.iter().enumerate() {
                 q.push(Nanos(*t), i);
@@ -207,27 +253,34 @@ mod tests {
             let mut last: Option<(Nanos, usize)> = None;
             while let Some((t, idx)) = q.pop() {
                 if let Some((lt, lidx)) = last {
-                    prop_assert!(t >= lt);
+                    assert!(t >= lt);
                     if t == lt {
-                        prop_assert!(idx > lidx, "FIFO violated for equal timestamps");
+                        assert!(idx > lidx, "FIFO violated for equal timestamps");
                     }
                 }
-                prop_assert_eq!(Nanos(times[idx]), t);
+                assert_eq!(Nanos(times[idx]), t);
                 last = Some((t, idx));
             }
         }
+    }
 
-        /// Push/pop counts are conserved.
-        #[test]
-        fn prop_conservation(times in prop::collection::vec(0u64..50, 0..100)) {
+    /// Push/pop counts are conserved.
+    #[test]
+    fn prop_conservation() {
+        let mut rng = DetRng::new(0xc0_15e7);
+        for _ in 0..256 {
+            let n = rng.below(100) as usize;
+            let times: Vec<u64> = (0..n).map(|_| rng.below(50)).collect();
             let mut q = EventQueue::new();
             for t in &times {
                 q.push(Nanos(*t), ());
             }
-            let mut n = 0u64;
-            while q.pop().is_some() { n += 1; }
-            prop_assert_eq!(n, times.len() as u64);
-            prop_assert_eq!(q.total_pushed(), q.total_popped());
+            let mut m = 0u64;
+            while q.pop().is_some() {
+                m += 1;
+            }
+            assert_eq!(m, times.len() as u64);
+            assert_eq!(q.total_pushed(), q.total_popped());
         }
     }
 }

@@ -222,7 +222,10 @@ mod tests {
     #[test]
     fn serialization_delay_rounds_up() {
         // 1 byte at 3 Gbps = 8/3 ns -> 3 ns.
-        assert_eq!(BitRate::from_gbps(3).serialization_delay(Bytes(1)), Nanos(3));
+        assert_eq!(
+            BitRate::from_gbps(3).serialization_delay(Bytes(1)),
+            Nanos(3)
+        );
     }
 
     #[test]

@@ -67,8 +67,16 @@ impl PairedComparison {
         }
         PairedComparison {
             n,
-            frac_improved: if n > 0 { improved as f64 / n as f64 } else { 0.0 },
-            geomean_speedup: if n > 0 { (log_sum / n as f64).exp() } else { 1.0 },
+            frac_improved: if n > 0 {
+                improved as f64 / n as f64
+            } else {
+                0.0
+            },
+            geomean_speedup: if n > 0 {
+                (log_sum / n as f64).exp()
+            } else {
+                1.0
+            },
             long_n,
             long_frac_improved: if long_n > 0 {
                 long_improved as f64 / long_n as f64

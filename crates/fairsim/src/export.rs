@@ -1,15 +1,21 @@
-//! Machine-readable result summaries (serde).
+//! Machine-readable result summaries.
 //!
 //! The `repro` binary's `--json` mode emits these records so downstream
 //! plotting (matplotlib, gnuplot, spreadsheets) can consume experiment
 //! output without scraping text tables.
 
-use serde::Serialize;
+use minijson::{arr, obj, Value};
 
 use crate::scenarios::{DatacenterResult, IncastResult, LONG_FLOW_BYTES};
 
+/// Payloads that can render themselves as a JSON tree.
+pub trait ToJson {
+    /// Build the JSON value for this payload.
+    fn to_value(&self) -> Value;
+}
+
 /// Scalar summary of one incast run.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IncastSummary {
     /// Figure-legend label.
     pub label: String,
@@ -44,8 +50,30 @@ impl From<&IncastResult> for IncastSummary {
     }
 }
 
+impl ToJson for IncastSummary {
+    fn to_value(&self) -> Value {
+        obj([
+            ("label", Value::from(self.label.as_str())),
+            ("converge_us_at_0_9", Value::from(self.converge_us_at_0_9)),
+            ("unfairness_integral", Value::from(self.unfairness_integral)),
+            ("peak_queue_bytes", Value::from(self.peak_queue_bytes)),
+            ("mean_queue_bytes", Value::from(self.mean_queue_bytes)),
+            ("finish_spread_us", Value::from(self.finish_spread_us)),
+            ("all_finished", Value::from(self.all_finished)),
+            (
+                "start_finish_us",
+                arr(self
+                    .start_finish_us
+                    .iter()
+                    .map(|(s, f)| arr([*s, *f]))
+                    .collect::<Vec<_>>()),
+            ),
+        ])
+    }
+}
+
 /// One slowdown bin in a datacenter summary.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlowdownBin {
     /// Largest flow size in the bin, bytes.
     pub size: u64,
@@ -55,8 +83,18 @@ pub struct SlowdownBin {
     pub median: f64,
 }
 
+impl ToJson for SlowdownBin {
+    fn to_value(&self) -> Value {
+        obj([
+            ("size", Value::from(self.size)),
+            ("tail", Value::from(self.tail)),
+            ("median", Value::from(self.median)),
+        ])
+    }
+}
+
 /// Scalar summary of one datacenter run.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatacenterSummary {
     /// Figure-legend label.
     pub label: String,
@@ -91,9 +129,30 @@ impl From<&DatacenterResult> for DatacenterSummary {
     }
 }
 
+impl ToJson for DatacenterSummary {
+    fn to_value(&self) -> Value {
+        obj([
+            ("label", Value::from(self.label.as_str())),
+            ("n_flows", Value::from(self.n_flows)),
+            ("completed", Value::from(self.completed)),
+            ("long_flow_tail_mean", Value::from(self.long_flow_tail_mean)),
+            (
+                "bins",
+                Value::Arr(self.bins.iter().map(ToJson::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_value).collect())
+    }
+}
+
 /// Serialize any figure payload to pretty JSON.
-pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("summaries are always serializable")
+pub fn to_json<T: ToJson>(value: &T) -> String {
+    value.to_value().pretty()
 }
 
 #[cfg(test)]
@@ -114,6 +173,7 @@ mod tests {
                 finish: dcsim::Nanos(5_000),
             }],
             all_finished: true,
+            events_handled: 0,
         }
     }
 
@@ -127,8 +187,8 @@ mod tests {
         assert!(json.contains("\"label\": \"HPCC\""));
         assert!(json.contains("\"all_finished\": true"));
         // Valid JSON (parse back).
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["peak_queue_bytes"], 100);
+        let v = minijson::Value::parse(&json).unwrap();
+        assert_eq!(v["peak_queue_bytes"].as_u64(), Some(100));
     }
 
     #[test]
@@ -153,12 +213,13 @@ mod tests {
             n_flows: 2,
             completed: 2,
             raw: vec![(0, 1_000, 2.0), (1, 2_000_000, 10.0)],
+            events_handled: 0,
         };
         let s = DatacenterSummary::from(&r);
         assert_eq!(s.bins.len(), 2);
         assert_eq!(s.long_flow_tail_mean, Some(10.0));
         let json = to_json(&s);
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["bins"][1]["size"], 2_000_000);
+        let v = minijson::Value::parse(&json).unwrap();
+        assert_eq!(v["bins"][1]["size"].as_u64(), Some(2_000_000));
     }
 }

@@ -29,7 +29,10 @@ pub mod spec;
 pub use analysis::PairedComparison;
 pub use export::{DatacenterSummary, IncastSummary};
 pub use scenarios::{
-    DatacenterResult, DatacenterScenario, IncastResult, IncastScenario, TraceResult,
-    TraceScenario,
+    DatacenterResult, DatacenterScenario, IncastResult, IncastScenario, TraceResult, TraceScenario,
 };
 pub use spec::{CcSpec, NetEnv, ProtocolKind, Variant};
+
+// The scheduler knob on every scenario comes from the engine crate; re-export
+// it so harnesses can name it without depending on dcsim directly.
+pub use dcsim::SchedulerKind;

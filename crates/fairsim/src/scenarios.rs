@@ -1,17 +1,47 @@
 //! The two experiment drivers.
 
-use dcsim::{Nanos, RunOutcome, Simulation};
+use dcsim::{EventQueue, Nanos, RunOutcome, Scheduler, SchedulerKind, Simulation, TimingWheel};
 use metrics::{jain, SlowdownRecord, SlowdownTable};
-use netsim::{
-    FatTreeConfig, FctRecord, FlowSpec, MonitorConfig, NetConfig, Topology,
-};
+use netsim::{FatTreeConfig, FctRecord, FlowSpec, MonitorConfig, NetConfig, Network, Topology};
 use workloads::{
     arrivals::{mixed_arrivals, ArrivalConfig},
-    distributions,
-    staggered_incast, IncastConfig,
+    distributions, staggered_incast, IncastConfig,
 };
 
 use crate::spec::{CcSpec, NetEnv};
+
+/// Prime and run a primed network to `deadline` under scheduler `S`.
+///
+/// Every scenario funnels through here, so heap and wheel runs execute the
+/// exact same driver code — the scheduler is the only degree of freedom,
+/// which is what the scheduler-equivalence tests rely on.
+fn drive<S: Scheduler<netsim::Event> + Default>(
+    net: Network,
+    deadline: Nanos,
+    budget: u64,
+) -> (Network, RunOutcome, u64) {
+    let mut sim = Simulation::with_scheduler(net, S::default());
+    {
+        let (w, q) = sim.split_mut();
+        w.prime(q);
+    }
+    let outcome = sim.run_with_budget(deadline, budget);
+    let handled = sim.events_handled();
+    (sim.into_world(), outcome, handled)
+}
+
+/// Run `net` to `deadline` on the scheduler selected by `kind`.
+pub(crate) fn run_network(
+    kind: SchedulerKind,
+    net: Network,
+    deadline: Nanos,
+    budget: u64,
+) -> (Network, RunOutcome, u64) {
+    match kind {
+        SchedulerKind::Heap => drive::<EventQueue<netsim::Event>>(net, deadline, budget),
+        SchedulerKind::Wheel => drive::<TimingWheel<netsim::Event>>(net, deadline, budget),
+    }
+}
 
 /// A 16-1 / 96-1 staggered-incast run (Figures 1-3, 5, 6, 8, 9).
 #[derive(Debug, Clone)]
@@ -26,6 +56,9 @@ pub struct IncastScenario {
     pub sample_interval: Nanos,
     /// Hard simulation horizon (safety net; incasts normally drain first).
     pub horizon: Nanos,
+    /// Event scheduler backing the run (results are scheduler-invariant;
+    /// the wheel is faster on dense timer populations).
+    pub scheduler: SchedulerKind,
 }
 
 impl IncastScenario {
@@ -45,6 +78,7 @@ impl IncastScenario {
             seed,
             sample_interval: Nanos::from_micros(5),
             horizon: Nanos::from_millis(50),
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -79,7 +113,9 @@ impl IncastScenario {
         net.monitor.cfg.watch_ports = vec![bottleneck];
 
         for (i, f) in staggered_incast(&self.incast).iter().enumerate() {
-            let cc = self.cc.build(&env, self.seed.wrapping_mul(1009).wrapping_add(i as u64));
+            let cc = self
+                .cc
+                .build(&env, self.seed.wrapping_mul(1009).wrapping_add(i as u64));
             net.add_flow(
                 FlowSpec {
                     src: hosts[f.src],
@@ -91,17 +127,12 @@ impl IncastScenario {
             );
         }
 
-        let mut sim = Simulation::new(net);
-        {
-            let (w, q) = sim.split_mut();
-            w.prime(q);
-        }
-        let outcome = sim.run_with_budget(self.horizon, 2_000_000_000);
+        let (net, outcome, events_handled) =
+            run_network(self.scheduler, net, self.horizon, 2_000_000_000);
         assert!(
             outcome != RunOutcome::BudgetExhausted,
             "incast run exploded its event budget"
         );
-        let net = sim.into_world();
 
         // Jain over a trailing window: instantaneous 5 us rates are shot
         // noise once the fair share falls near one packet per interval
@@ -124,6 +155,7 @@ impl IncastScenario {
             queue: queue_series,
             fcts: net.monitor.fcts().to_vec(),
             all_finished,
+            events_handled,
         }
     }
 }
@@ -175,6 +207,9 @@ pub struct IncastResult {
     pub fcts: Vec<FctRecord>,
     /// Whether every flow completed before the horizon.
     pub all_finished: bool,
+    /// Events the engine dispatched (scheduler-invariant; the perf
+    /// baseline divides this by wall time for events/sec).
+    pub events_handled: u64,
 }
 
 impl IncastResult {
@@ -258,6 +293,8 @@ pub struct DatacenterScenario {
     pub cc: CcSpec,
     /// Scenario seed.
     pub seed: u64,
+    /// Event scheduler backing the run.
+    pub scheduler: SchedulerKind,
 }
 
 impl DatacenterScenario {
@@ -272,6 +309,7 @@ impl DatacenterScenario {
             horizon: Nanos::from_millis(2),
             cc,
             seed,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -311,7 +349,9 @@ impl DatacenterScenario {
         );
         let n_flows = arrivals.len();
         for (i, f) in arrivals.iter().enumerate() {
-            let cc = self.cc.build(&env, self.seed.wrapping_mul(31).wrapping_add(i as u64));
+            let cc = self
+                .cc
+                .build(&env, self.seed.wrapping_mul(31).wrapping_add(i as u64));
             net.add_flow(
                 FlowSpec {
                     src: hosts[f.src],
@@ -323,16 +363,11 @@ impl DatacenterScenario {
             );
         }
 
-        let mut sim = Simulation::new(net);
-        {
-            let (w, q) = sim.split_mut();
-            w.prime(q);
-        }
         // Arrivals stop at the horizon; give the tail 4x the horizon to
         // drain (starved long flows are exactly what we are measuring).
         let drain_deadline = Nanos(self.horizon.as_u64() * 5);
-        sim.run_with_budget(drain_deadline, 20_000_000_000);
-        let net = sim.into_world();
+        let (net, _, events_handled) =
+            run_network(self.scheduler, net, drain_deadline, 20_000_000_000);
 
         let completed = net.monitor.fcts().len();
         let mut raw: Vec<(u32, u64, f64)> = Vec::with_capacity(completed);
@@ -360,6 +395,7 @@ impl DatacenterScenario {
             n_flows,
             completed,
             raw,
+            events_handled,
         }
     }
 }
@@ -378,6 +414,8 @@ pub struct DatacenterResult {
     /// Per-flow raw outcomes `(flow id, size, slowdown)` for paired
     /// cross-variant analysis (see [`crate::analysis`]).
     pub raw: Vec<(u32, u64, f64)>,
+    /// Events the engine dispatched (see [`IncastResult::events_handled`]).
+    pub events_handled: u64,
 }
 
 /// Replay an explicit arrival list (a saved trace, a permutation pattern,
@@ -401,6 +439,8 @@ pub struct TraceScenario {
     /// Optional per-flow rate sampling (for Jain analysis; keep `None`
     /// for large traces).
     pub sample_interval: Option<Nanos>,
+    /// Event scheduler backing the run.
+    pub scheduler: SchedulerKind,
 }
 
 /// Output of a trace replay.
@@ -454,13 +494,7 @@ impl TraceScenario {
                 cc,
             );
         }
-        let mut sim = Simulation::new(net);
-        {
-            let (w, q) = sim.split_mut();
-            w.prime(q);
-        }
-        sim.run_with_budget(self.deadline, 20_000_000_000);
-        let net = sim.into_world();
+        let (net, _, _) = run_network(self.scheduler, net, self.deadline, 20_000_000_000);
         let raw: Vec<(u32, u64, f64)> = net
             .monitor
             .fcts()
@@ -519,6 +553,7 @@ mod tests {
                 seed: 5,
                 sample_interval: Nanos::from_micros(5),
                 horizon: Nanos::from_millis(20),
+                scheduler: SchedulerKind::default(),
             };
             let res = sc.run();
             assert!(res.all_finished, "{:?} did not finish", kind);
@@ -542,6 +577,7 @@ mod tests {
                 seed: 3,
                 sample_interval: Nanos::from_micros(5),
                 horizon: Nanos::from_millis(20),
+                scheduler: SchedulerKind::default(),
             }
             .run()
         };
@@ -562,10 +598,17 @@ mod tests {
     fn convergence_time_semantics() {
         let res = IncastResult {
             label: "x".into(),
-            jain: vec![(0.0, 0.5), (10.0, 0.96), (20.0, 0.7), (30.0, 0.97), (40.0, 0.99)],
+            jain: vec![
+                (0.0, 0.5),
+                (10.0, 0.96),
+                (20.0, 0.7),
+                (30.0, 0.97),
+                (40.0, 0.99),
+            ],
             queue: vec![(0.0, 100), (10.0, 50)],
             fcts: vec![],
             all_finished: true,
+            events_handled: 0,
         };
         // The dip at t=20 resets the clock; convergence is at t=30.
         assert_eq!(res.convergence_time(0.95), Some(30.0));
@@ -575,12 +618,7 @@ mod tests {
 
     #[test]
     fn trace_replay_runs_a_permutation() {
-        let arrivals = workloads::permutation(
-            8,
-            Bytes::from_kb(200),
-            Nanos::ZERO,
-            3,
-        );
+        let arrivals = workloads::permutation(8, Bytes::from_kb(200), Nanos::ZERO, 3);
         let sc = TraceScenario {
             fat_tree: FatTreeConfig {
                 pods: 2,
@@ -595,6 +633,7 @@ mod tests {
             seed: 1,
             deadline: Nanos::from_millis(10),
             sample_interval: Some(Nanos::from_micros(10)),
+            scheduler: SchedulerKind::default(),
         };
         let res = sc.run();
         assert!(res.all_finished);
@@ -627,10 +666,38 @@ mod tests {
             seed: 4,
             deadline: Nanos::from_millis(10),
             sample_interval: None,
+            scheduler: SchedulerKind::default(),
         };
         let a = mk(arrivals).run();
         let b = mk(replayed).run();
         assert_eq!(a.raw, b.raw);
+    }
+
+    #[test]
+    fn incast_results_are_scheduler_invariant() {
+        let mk = |scheduler| {
+            IncastScenario {
+                incast: IncastConfig {
+                    senders: 4,
+                    flow_size: Bytes::from_kb(200),
+                    flows_per_interval: 2,
+                    interval: Nanos::from_micros(20),
+                },
+                cc: CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+                seed: 7,
+                sample_interval: Nanos::from_micros(5),
+                horizon: Nanos::from_millis(20),
+                scheduler,
+            }
+            .run()
+        };
+        let heap = mk(SchedulerKind::Heap);
+        let wheel = mk(SchedulerKind::Wheel);
+        assert!(heap.all_finished && wheel.all_finished);
+        // Same seed, same dispatch contract: bit-identical outputs.
+        assert_eq!(heap.fcts, wheel.fcts);
+        assert_eq!(heap.jain, wheel.jain);
+        assert_eq!(heap.queue, wheel.queue);
     }
 
     #[test]
@@ -649,6 +716,7 @@ mod tests {
             horizon: Nanos::from_micros(300),
             cc: CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
             seed: 2,
+            scheduler: SchedulerKind::default(),
         };
         let res = sc.run();
         assert!(res.n_flows > 0);

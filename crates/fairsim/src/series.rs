@@ -52,6 +52,7 @@ mod tests {
             queue: vec![],
             fcts: vec![],
             all_finished: true,
+            events_handled: 0,
         }
     }
 

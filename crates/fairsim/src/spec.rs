@@ -4,9 +4,9 @@ use dcsim::{BitRate, Bytes, DetRng, Nanos};
 use faircc::CongestionControl;
 
 use cc_dcqcn::{Dcqcn, DcqcnConfig};
-use cc_timely::{Timely, TimelyConfig};
 use cc_hpcc::{Hpcc, HpccConfig};
 use cc_swift::{Swift, SwiftConfig};
+use cc_timely::{Timely, TimelyConfig};
 
 /// Topology facts the protocols need.
 #[derive(Debug, Clone, Copy)]
@@ -161,9 +161,7 @@ impl CcSpec {
                     Variant::Probabilistic => {
                         HpccConfig::probabilistic(env.base_rtt, env.line_rate)
                     }
-                    Variant::VaiSf => {
-                        HpccConfig::vai_sf(env.base_rtt, env.line_rate, env.min_bdp)
-                    }
+                    Variant::VaiSf => HpccConfig::vai_sf(env.base_rtt, env.line_rate, env.min_bdp),
                     Variant::Vai => HpccConfig {
                         vai: Some(faircc::VaiConfig::hpcc_default(env.min_bdp.as_f64())),
                         ..base
@@ -199,9 +197,7 @@ impl CcSpec {
                     },
                 };
                 let cfg = SwiftConfig {
-                    hyper_ai: self
-                        .hyper_ai
-                        .then(cc_swift::HyperAiConfig::timely_default),
+                    hyper_ai: self.hyper_ai.then(cc_swift::HyperAiConfig::timely_default),
                     ..cfg
                 };
                 Box::new(Swift::new(cfg, rng))
@@ -322,7 +318,10 @@ mod tests {
 
     #[test]
     fn labels_match_paper_legends() {
-        assert_eq!(CcSpec::new(ProtocolKind::Hpcc, Variant::Default).label(), "HPCC");
+        assert_eq!(
+            CcSpec::new(ProtocolKind::Hpcc, Variant::Default).label(),
+            "HPCC"
+        );
         assert_eq!(
             CcSpec::new(ProtocolKind::Hpcc, Variant::HighAi).label(),
             "HPCC 1Gbps"

@@ -121,7 +121,13 @@ pub fn integrate(
     let mut t = 0.0f64;
     loop {
         if t >= next_sample - 1e-9 {
-            out.push(FluidSample { t_ns: t, r1, r0, s1, s0 });
+            out.push(FluidSample {
+                t_ns: t,
+                r1,
+                r0,
+                s1,
+                s0,
+            });
             next_sample += sample_every;
             if out.len() > n_samples {
                 break;
@@ -168,7 +174,13 @@ pub fn integrate_rk4(
     let mut t = 0.0f64;
     loop {
         if t >= next_sample - 1e-9 {
-            out.push(FluidSample { t_ns: t, r1, r0, s1, s0 });
+            out.push(FluidSample {
+                t_ns: t,
+                r1,
+                r0,
+                s1,
+                s0,
+            });
             next_sample += sample_every;
             if out.len() > n_samples {
                 break;
@@ -186,7 +198,7 @@ pub fn integrate_rk4(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dcsim::DetRng;
 
     #[test]
     fn figure4_satisfies_convergence_condition() {
@@ -315,18 +327,18 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// The t=0 derivative condition from the paper: whenever
-        /// `1/r < (C1+C0)/(s·MTU)`, the fairness difference must become
-        /// positive immediately (and vice versa stay ~0/negative when the
-        /// inequality flips the other way hard).
-        #[test]
-        fn prop_initial_derivative_sign(
-            c1 in 2.0f64..20.0,
-            ratio in 0.1f64..0.9,
-            s in 5.0f64..100.0,
-            rtt in 5_000.0f64..100_000.0,
-        ) {
+    /// The t=0 derivative condition from the paper: whenever
+    /// `1/r < (C1+C0)/(s·MTU)`, the fairness difference must become
+    /// positive immediately (and vice versa stay ~0/negative when the
+    /// inequality flips the other way hard).
+    #[test]
+    fn prop_initial_derivative_sign() {
+        for case in 0..256u64 {
+            let mut rng = DetRng::new(0xf1d + case);
+            let c1 = 2.0 + 18.0 * rng.f64();
+            let ratio = 0.1 + 0.8 * rng.f64();
+            let s = 5.0 + 95.0 * rng.f64();
+            let rtt = 5_000.0 + 95_000.0 * rng.f64();
             let p = FluidParams {
                 beta: 0.5,
                 rtt_ns: rtt,
@@ -338,18 +350,26 @@ mod tests {
             let samples = integrate(&p, rtt / 10.0, 1.0, 10);
             let early = samples[2].fairness_difference();
             if p.sf_converges_faster() {
-                prop_assert!(early > 0.0, "expected SF to pull ahead, got {early}");
+                assert!(
+                    early > 0.0,
+                    "case {case}: expected SF to pull ahead, got {early}"
+                );
             } else {
-                prop_assert!(early <= 1e-12, "expected per-RTT to hold, got {early}");
+                assert!(
+                    early <= 1e-12,
+                    "case {case}: expected per-RTT to hold, got {early}"
+                );
             }
         }
+    }
 
-        /// Rates stay positive and finite for any sane parameters.
-        #[test]
-        fn prop_rates_stay_positive(
-            c1 in 1.0f64..20.0,
-            s in 1.0f64..200.0,
-        ) {
+    /// Rates stay positive and finite for any sane parameters.
+    #[test]
+    fn prop_rates_stay_positive() {
+        for case in 0..256u64 {
+            let mut rng = DetRng::new(0x905 + case);
+            let c1 = 1.0 + 19.0 * rng.f64();
+            let s = 1.0 + 199.0 * rng.f64();
             let p = FluidParams {
                 beta: 0.5,
                 rtt_ns: 30_000.0,
@@ -360,8 +380,8 @@ mod tests {
             };
             let samples = integrate(&p, 1_000_000.0, 10.0, 100);
             for smp in samples {
-                prop_assert!(smp.r1 > 0.0 && smp.s1 > 0.0);
-                prop_assert!(smp.r1.is_finite() && smp.s1.is_finite());
+                assert!(smp.r1 > 0.0 && smp.s1 > 0.0, "case {case}");
+                assert!(smp.r1.is_finite() && smp.s1.is_finite(), "case {case}");
             }
         }
     }

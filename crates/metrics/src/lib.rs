@@ -106,7 +106,7 @@ pub fn unfairness_integral(series: &[(f64, f64)]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dcsim::DetRng;
 
     #[test]
     fn jain_perfectly_fair() {
@@ -215,28 +215,34 @@ mod tests {
         assert!((s[1].1 - 0.5).abs() < 1e-12);
     }
 
-    proptest! {
-        /// Jain is always in (0, 1] and equals 1 iff all rates equal.
-        #[test]
-        fn prop_jain_bounds(rates in prop::collection::vec(0.0f64..1e12, 1..50)) {
+    /// Jain is always in (0, 1] and equals 1 iff all rates equal.
+    #[test]
+    fn prop_jain_bounds() {
+        let mut rng = DetRng::new(0x7a1);
+        for case in 0..256 {
+            let rates: Vec<f64> = (0..1 + rng.below(49)).map(|_| 1e12 * rng.f64()).collect();
             let j = jain(&rates);
-            prop_assert!(j > 0.0 && j <= 1.0 + 1e-12);
+            assert!(j > 0.0 && j <= 1.0 + 1e-12, "case {case}: jain {j}");
         }
+    }
 
-        /// Percentiles are monotone in p and bounded by the extremes.
-        #[test]
-        fn prop_percentile_monotone(
-            mut vals in prop::collection::vec(-1e6f64..1e6, 1..100),
-            p1 in 0.0f64..100.0,
-            p2 in 0.0f64..100.0,
-        ) {
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn prop_percentile_monotone() {
+        let mut rng = DetRng::new(0x9c7);
+        for case in 0..256 {
+            let mut vals: Vec<f64> = (0..1 + rng.below(99))
+                .map(|_| -1e6 + 2e6 * rng.f64())
+                .collect();
+            let p1 = 100.0 * rng.f64();
+            let p2 = 100.0 * rng.f64();
             vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let (lo, hi) = (p1.min(p2), p1.max(p2));
             let a = percentile_sorted(&vals, lo);
             let b = percentile_sorted(&vals, hi);
-            prop_assert!(a <= b + 1e-9);
-            prop_assert!(a >= vals[0] - 1e-9);
-            prop_assert!(b <= vals[vals.len() - 1] + 1e-9);
+            assert!(a <= b + 1e-9, "case {case}");
+            assert!(a >= vals[0] - 1e-9, "case {case}");
+            assert!(b <= vals[vals.len() - 1] + 1e-9, "case {case}");
         }
     }
 }

@@ -164,9 +164,9 @@ mod tests {
     #[test]
     fn worst_tail_above_filters_small_flows() {
         let recs = vec![
-            rec(1_000, 50.0),      // small flow, bad slowdown
-            rec(2_000_000, 10.0),  // long flow
-            rec(3_000_000, 20.0),  // long flow, worse
+            rec(1_000, 50.0),     // small flow, bad slowdown
+            rec(2_000_000, 10.0), // long flow
+            rec(3_000_000, 20.0), // long flow, worse
         ];
         let t = SlowdownTable::build(recs, 3, 99.9);
         assert_eq!(t.worst_tail_above(1_000_000), Some(20.0));

@@ -55,7 +55,10 @@ impl Flow {
     /// Create a fresh flow.
     pub fn new(id: FlowId, spec: FlowSpec, cc: Box<dyn CongestionControl>) -> Self {
         assert!(spec.size.0 > 0, "zero-length flows are not allowed");
-        assert!(spec.src != spec.dst, "flow source and destination must differ");
+        assert!(
+            spec.src != spec.dst,
+            "flow source and destination must differ"
+        );
         Flow {
             id,
             spec,

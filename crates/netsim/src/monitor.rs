@@ -113,10 +113,8 @@ impl Monitor {
                 // A flow contributes if it was active at any point in the
                 // interval: it started before `now` and either is still
                 // running or finished within the interval.
-                let finished_in_interval = f
-                    .finished
-                    .map(|t| t > self.last_sample_at)
-                    .unwrap_or(true);
+                let finished_in_interval =
+                    f.finished.map(|t| t > self.last_sample_at).unwrap_or(true);
                 if f.spec.start <= now && finished_in_interval && dt > 0.0 {
                     flow_rates.push((f.id, delta as f64 * 8.0 / dt));
                 }

@@ -1,7 +1,7 @@
 //! The network world: arenas of nodes, ports, and flows, plus the event
 //! handlers that move packets between them.
 
-use dcsim::{Bytes, DetRng, EventQueue, Nanos, World};
+use dcsim::{Bytes, DetRng, Nanos, Scheduler, World};
 use faircc::{AckFeedback, CongestionControl, IntHop};
 
 use crate::flow::{Flow, FlowSpec};
@@ -253,8 +253,9 @@ impl Network {
     }
 
     /// Push the initial events (flow starts, first sample tick) onto the
-    /// queue. Call once after all flows are added, before running.
-    pub fn prime(&self, q: &mut EventQueue<Event>) {
+    /// queue (any [`Scheduler`] implementation). Call once after all flows
+    /// are added, before running.
+    pub fn prime(&self, q: &mut impl Scheduler<Event>) {
         for f in &self.flows {
             q.push(f.spec.start, Event::FlowStart(f.id));
         }
@@ -358,7 +359,7 @@ impl Network {
 
     // ---- internal mechanics ----
 
-    fn try_send(&mut self, fi: usize, now: Nanos, q: &mut EventQueue<Event>) {
+    fn try_send(&mut self, fi: usize, now: Nanos, q: &mut impl Scheduler<Event>) {
         loop {
             // Phase 1: decide under a scoped flow borrow.
             let action = {
@@ -405,7 +406,7 @@ impl Network {
         }
     }
 
-    fn arm_rto(&mut self, fi: usize, now: Nanos, q: &mut EventQueue<Event>) {
+    fn arm_rto(&mut self, fi: usize, now: Nanos, q: &mut impl Scheduler<Event>) {
         let rto = self.cfg.rto;
         let f = &mut self.flows[fi];
         if f.finished.is_some() || f.inflight() == 0 || f.rto_armed.is_some() {
@@ -416,7 +417,7 @@ impl Network {
         q.push(t, Event::Rto(f.id));
     }
 
-    fn on_rto(&mut self, fi: usize, now: Nanos, q: &mut EventQueue<Event>) {
+    fn on_rto(&mut self, fi: usize, now: Nanos, q: &mut impl Scheduler<Event>) {
         let rto = self.cfg.rto;
         let rewind = {
             let f = &mut self.flows[fi];
@@ -447,7 +448,7 @@ impl Network {
         port: PortNo,
         pkt: Box<Packet>,
         now: Nanos,
-        q: &mut EventQueue<Event>,
+        q: &mut impl Scheduler<Event>,
     ) {
         let pfc = self.cfg.pfc;
         let n = &mut self.nodes[node.idx()];
@@ -480,7 +481,7 @@ impl Network {
         }
     }
 
-    fn start_tx(&mut self, node: NodeId, port: PortNo, now: Nanos, q: &mut EventQueue<Event>) {
+    fn start_tx(&mut self, node: NodeId, port: PortNo, now: Nanos, q: &mut impl Scheduler<Event>) {
         let pfc = self.cfg.pfc;
         let mut release = false;
         let (pkt, ser, peer, prop) = {
@@ -528,7 +529,7 @@ impl Network {
         congested: PortNo,
         paused: bool,
         now: Nanos,
-        q: &mut EventQueue<Event>,
+        q: &mut impl Scheduler<Event>,
     ) {
         for (i, p) in self.nodes[node.idx()].ports.iter().enumerate() {
             if i == congested.idx() {
@@ -545,7 +546,7 @@ impl Network {
         }
     }
 
-    fn arm_cc_timer(&mut self, fi: usize, now: Nanos, q: &mut EventQueue<Event>) {
+    fn arm_cc_timer(&mut self, fi: usize, now: Nanos, q: &mut impl Scheduler<Event>) {
         let f = &mut self.flows[fi];
         if f.finished.is_some() {
             return;
@@ -559,7 +560,7 @@ impl Network {
         }
     }
 
-    fn on_cc_timer(&mut self, fi: usize, now: Nanos, q: &mut EventQueue<Event>) {
+    fn on_cc_timer(&mut self, fi: usize, now: Nanos, q: &mut impl Scheduler<Event>) {
         {
             let f = &mut self.flows[fi];
             if f.cc_timer_armed != Some(now) {
@@ -579,7 +580,7 @@ impl Network {
         node: NodeId,
         mut pkt: Box<Packet>,
         now: Nanos,
-        q: &mut EventQueue<Event>,
+        q: &mut impl Scheduler<Event>,
     ) {
         debug_assert_eq!(
             pkt.dst, node,
@@ -729,7 +730,7 @@ impl Network {
 impl World for Network {
     type Event = Event;
 
-    fn handle(&mut self, now: Nanos, event: Event, q: &mut EventQueue<Event>) {
+    fn handle<S: Scheduler<Event>>(&mut self, now: Nanos, event: Event, q: &mut S) {
         match event {
             Event::FlowStart(f) => self.try_send(f.idx(), now, q),
             Event::FlowTrySend(f) => {
@@ -848,7 +849,10 @@ mod tests {
         );
         let ideal = net.ideal_fct(id);
         let mut sim = Simulation::new(net);
-        { let (w, q) = sim.split_mut(); w.prime(q); }
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
         // Hold the queue borrow correctly: prime needs &self and &mut queue.
         sim.run();
         let net = sim.world();
@@ -906,14 +910,20 @@ mod tests {
         }
         let bottleneck = net.port_towards(sw, h2).unwrap();
         let mut sim = Simulation::new(net);
-        { let (w, q) = sim.split_mut(); w.prime(q); }
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
         sim.run();
         let net = sim.world();
         assert!(net.all_finished());
         // Offered 120 Gbps for 600KB each = 80us of sending; the sink link
         // is saturated so queue peaked near 20Gbps * 80us = 200KB.
         let peak = net.nodes[bottleneck.0.idx()].ports[bottleneck.1.idx()].max_qbytes();
-        assert!(peak > 100_000, "expected a large standing queue, got {peak}");
+        assert!(
+            peak > 100_000,
+            "expected a large standing queue, got {peak}"
+        );
         assert!(peak < 300_000, "queue larger than offered excess: {peak}");
     }
 
@@ -948,7 +958,10 @@ mod tests {
             Box::new(TwoPacketWindow),
         );
         let mut sim = Simulation::new(net);
-        { let (w, q) = sim.split_mut(); w.prime(q); }
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
         sim.run();
         assert!(sim.world().all_finished());
         // 50 packets, 2 per RTT (~4.2us) => ~105us.
@@ -987,7 +1000,10 @@ mod tests {
             );
         }
         let mut sim = Simulation::new(net);
-        { let (w, q) = sim.split_mut(); w.prime(q); }
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
         sim.run_until(Nanos::from_millis(5));
         let net = sim.world();
         // Both flows got CNPs: their rates dropped below line rate.
@@ -1033,7 +1049,10 @@ mod tests {
                 );
             }
             let mut sim = Simulation::new(net);
-            { let (w, q) = sim.split_mut(); w.prime(q); }
+            {
+                let (w, q) = sim.split_mut();
+                w.prime(q);
+            }
             sim.run_until(Nanos::from_millis(10));
             sim.world()
                 .monitor
@@ -1084,7 +1103,10 @@ mod tests {
             );
         }
         let mut sim = Simulation::new(net);
-        { let (w, q) = sim.split_mut(); w.prime(q); }
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
         sim.run_until(Nanos::from_millis(2));
         let net = sim.world();
         let (n, p) = net.port_towards(sw, h2).unwrap();
@@ -1102,11 +1124,21 @@ mod tests {
             let net = sim.world();
             for f in 0..2u32 {
                 let fl = net.flow(FlowId(f));
-                eprintln!("flow {f}: sent={} acked={} rcv_next={}", fl.sent, fl.acked, fl.rcv_next);
+                eprintln!(
+                    "flow {f}: sent={} acked={} rcv_next={}",
+                    fl.sent, fl.acked, fl.rcv_next
+                );
             }
             for (ni, n) in net.nodes.iter().enumerate() {
                 for (pi, p) in n.ports.iter().enumerate() {
-                    eprintln!("node {ni} port {pi}: q={} busy={} paused={} over={} peer={:?}", p.qbytes(), p.busy, p.is_paused(), p.pfc_over, p.peer);
+                    eprintln!(
+                        "node {ni} port {pi}: q={} busy={} paused={} over={} peer={:?}",
+                        p.qbytes(),
+                        p.busy,
+                        p.is_paused(),
+                        p.pfc_over,
+                        p.peer
+                    );
                 }
             }
             panic!("not finished");
@@ -1126,7 +1158,10 @@ mod tests {
             Box::new(FixedRate(BitRate::from_gbps(100))),
         );
         let mut sim = Simulation::new(net);
-        { let (w, q) = sim.split_mut(); w.prime(q); }
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
         sim.run();
         assert_eq!(sim.world().dropped_data_packets(), 0);
         assert!(sim.world().all_finished());
@@ -1164,7 +1199,10 @@ mod tests {
             );
         }
         let mut sim = Simulation::new(net);
-        { let (w, q) = sim.split_mut(); w.prime(q); }
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
         sim.run_until(Nanos::from_millis(50));
         let net = sim.world();
         assert!(
@@ -1224,7 +1262,10 @@ mod tests {
             );
         }
         let mut sim = Simulation::new(net);
-        { let (w, q) = sim.split_mut(); w.prime(q); }
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
         sim.run_until(Nanos::from_millis(20));
         let net = sim.world();
         assert!(net.dropped_data_packets() > 0);
@@ -1252,7 +1293,10 @@ mod tests {
             Box::new(FixedRate(BitRate::from_gbps(50))),
         );
         let mut sim = Simulation::new(net);
-        { let (w, q) = sim.split_mut(); w.prime(q); }
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
         sim.run_until(Nanos::from_millis(1));
         let samples = sim.world().monitor.samples();
         assert!(samples.len() > 10);

@@ -136,6 +136,20 @@ impl PacketPool {
     pub fn stats(&self) -> (u64, u64) {
         (self.allocated, self.recycled)
     }
+
+    /// Boxes currently sitting in the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Boxes currently held by callers (in flight through the event queue).
+    ///
+    /// Every live box was allocated exactly once and is not in the free
+    /// list, so `live = allocated − free_len` — the invariant the pool
+    /// unit tests pin down.
+    pub fn live(&self) -> u64 {
+        self.allocated - self.free.len() as u64
+    }
 }
 
 #[cfg(test)]
@@ -199,5 +213,81 @@ mod tests {
         assert!(!q.ecn);
         assert_eq!(q.seq, 0);
         assert!(q.int.is_empty());
+    }
+
+    #[test]
+    fn get_after_put_recycles_and_moves_counters() {
+        let mut pool = PacketPool::new();
+        let a = pool.get();
+        assert_eq!(pool.stats(), (1, 0));
+        pool.put(a);
+        assert_eq!(pool.free_len(), 1);
+        let _b = pool.get();
+        // The box came from the free list, not a fresh allocation.
+        assert_eq!(pool.stats(), (1, 1));
+        assert_eq!(pool.free_len(), 0);
+    }
+
+    #[test]
+    fn recycled_boxes_come_back_fully_blanked() {
+        let mut pool = PacketPool::new();
+        let mut p = pool.get();
+        // Dirty every field.
+        p.kind = PacketKind::Nack;
+        p.flow = FlowId(7);
+        p.src = NodeId(1);
+        p.dst = NodeId(2);
+        p.seq = 42;
+        p.wire_size = 999;
+        p.payload = 123;
+        p.sent_at = Nanos(55);
+        p.ecn = true;
+        p.hops = 9;
+        p.int.push(IntHop::default());
+        pool.put(p);
+        let q = pool.get();
+        assert_eq!(q.kind, PacketKind::Data);
+        assert_eq!(q.flow, FlowId(0));
+        assert_eq!(q.src, NodeId(0));
+        assert_eq!(q.dst, NodeId(0));
+        assert_eq!(q.seq, 0);
+        assert_eq!(q.wire_size, 0);
+        assert_eq!(q.payload, 0);
+        assert_eq!(q.sent_at, Nanos::ZERO);
+        assert!(!q.ecn);
+        assert_eq!(q.hops, 0);
+        assert!(q.int.is_empty());
+    }
+
+    #[test]
+    fn live_count_tracks_a_simulated_burst() {
+        // Simulate an incast-like burst: grab a wave of packets, return a
+        // ragged subset, grab again — at every point the number of boxes
+        // held by the "simulation" equals pool.live().
+        let mut pool = PacketPool::new();
+        let mut in_flight = Vec::new();
+        for round in 0..8 {
+            for _ in 0..(16 + round * 3) {
+                in_flight.push(pool.get());
+                assert_eq!(pool.live(), in_flight.len() as u64);
+            }
+            // Deliver (return) roughly two-thirds of the wave.
+            let keep = in_flight.len() / 3;
+            for p in in_flight.drain(keep..) {
+                pool.put(p);
+            }
+            assert_eq!(pool.live(), in_flight.len() as u64);
+        }
+        let (alloc, recyc) = pool.stats();
+        assert!(recyc > 0, "bursts after the first must recycle");
+        // allocated counts distinct boxes ever created; everything not in
+        // the free list is still held.
+        assert_eq!(alloc, pool.live() + pool.free_len() as u64);
+        // Drain completely: nothing live, every box back in the pool.
+        for p in in_flight.drain(..) {
+            pool.put(p);
+        }
+        assert_eq!(pool.live(), 0);
+        assert_eq!(alloc, pool.free_len() as u64);
     }
 }

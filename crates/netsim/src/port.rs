@@ -226,7 +226,11 @@ mod tests {
     }
 
     fn port(rate_gbps: u64) -> Port {
-        Port::new((NodeId(1), PortNo(0)), BitRate::from_gbps(rate_gbps), Nanos::MICRO)
+        Port::new(
+            (NodeId(1), PortNo(0)),
+            BitRate::from_gbps(rate_gbps),
+            Nanos::MICRO,
+        )
     }
 
     #[test]

@@ -130,10 +130,7 @@ mod tests {
             b.utilization
         );
         // The ACK-only direction is nearly idle but nonzero.
-        let ack_port = stats
-            .iter()
-            .find(|s| s.node == h1 && !s.on_switch)
-            .unwrap();
+        let ack_port = stats.iter().find(|s| s.node == h1 && !s.on_switch).unwrap();
         assert!(ack_port.tx_bytes > 0);
         assert!(ack_port.utilization < 0.05);
         // No drops in lossless mode.

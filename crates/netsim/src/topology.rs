@@ -236,7 +236,12 @@ impl FatTreeConfig {
             // Agg j connects to spine group j.
             for (j, &a) in aggs.iter().enumerate() {
                 for s in 0..spines_per_agg {
-                    b.link(a, spines[j * spines_per_agg + s], self.fabric_rate, self.prop);
+                    b.link(
+                        a,
+                        spines[j * spines_per_agg + s],
+                        self.fabric_rate,
+                        self.prop,
+                    );
                 }
             }
             // Hosts under each ToR.
@@ -324,7 +329,9 @@ mod tests {
     fn fat_tree_cross_pod_flow_completes() {
         let t = FatTreeConfig::reduced().build();
         let hosts = t.hosts.clone();
-        let mut net = t.builder.build(NetConfig::default(), MonitorConfig::default());
+        let mut net = t
+            .builder
+            .build(NetConfig::default(), MonitorConfig::default());
         // First host of pod 0 to last host (pod 1): must cross the spine.
         let id = net.add_flow(
             FlowSpec {
@@ -345,14 +352,19 @@ mod tests {
         assert!(sim.world().all_finished());
         let fct = sim.world().monitor.fcts()[0].fct();
         assert!(fct >= ideal);
-        assert!(fct.as_u64() < ideal.as_u64() + 1_000, "fct {fct} ideal {ideal}");
+        assert!(
+            fct.as_u64() < ideal.as_u64() + 1_000,
+            "fct {fct} ideal {ideal}"
+        );
     }
 
     #[test]
     fn fat_tree_intra_tor_flow_is_two_hops() {
         let t = FatTreeConfig::reduced().build();
         let hosts = t.hosts.clone();
-        let mut net = t.builder.build(NetConfig::default(), MonitorConfig::default());
+        let mut net = t
+            .builder
+            .build(NetConfig::default(), MonitorConfig::default());
         // hosts[0] and hosts[1] share a ToR: path = host->ToR->host.
         let id = net.add_flow(
             FlowSpec {
@@ -380,7 +392,9 @@ mod tests {
         assert_eq!(t.hosts.len(), 32);
         assert_eq!(t.switches.len(), 6);
         let hosts = t.hosts.clone();
-        let mut net = t.builder.build(NetConfig::default(), MonitorConfig::default());
+        let mut net = t
+            .builder
+            .build(NetConfig::default(), MonitorConfig::default());
         // Cross-leaf flow must traverse a spine (3 switch hops).
         let id = net.add_flow(
             FlowSpec {
@@ -425,7 +439,9 @@ mod tests {
         let t = FatTreeConfig::reduced().build();
         let hosts = t.hosts.clone();
         let max_hops = t.max_hops as usize;
-        let net = t.builder.build(NetConfig::default(), MonitorConfig::default());
+        let net = t
+            .builder
+            .build(NetConfig::default(), MonitorConfig::default());
         let mut rng = dcsim::DetRng::new(17);
         for trial in 0..500 {
             let src = hosts[rng.below(hosts.len() as u64) as usize];
@@ -459,7 +475,9 @@ mod tests {
         // aggregation uplinks (per-flow ECMP).
         let t = FatTreeConfig::reduced().build();
         let hosts = t.hosts.clone();
-        let net = t.builder.build(NetConfig::default(), MonitorConfig::default());
+        let net = t
+            .builder
+            .build(NetConfig::default(), MonitorConfig::default());
         let src = hosts[0];
         let dst = *hosts.last().unwrap(); // other pod
         let tor = net.node(src).ports[0].peer.0;

@@ -209,10 +209,7 @@ mod tests {
         let d = websearch();
         // "30% > 1MB"
         let above_1mb = d.frac_above(1_000_000);
-        assert!(
-            (0.2..=0.35).contains(&above_1mb),
-            "P(>1MB) = {above_1mb}"
-        );
+        assert!((0.2..=0.35).contains(&above_1mb), "P(>1MB) = {above_1mb}");
     }
 
     #[test]
@@ -235,7 +232,10 @@ mod tests {
             .count();
         let frac = big as f64 / n as f64;
         let expect = d.frac_above(1_000_000);
-        assert!((frac - expect).abs() < 0.01, "sampled {frac} vs cdf {expect}");
+        assert!(
+            (frac - expect).abs() < 0.01,
+            "sampled {frac} vs cdf {expect}"
+        );
     }
 
     #[test]

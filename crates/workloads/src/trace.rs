@@ -4,13 +4,13 @@
 //! inputs).
 
 use dcsim::{Bytes, Nanos};
-use serde::{Deserialize, Serialize};
+use minijson::{obj, Value};
 
 use crate::arrivals::FlowArrival;
 
 /// One line of a serialized trace (plain integers so the JSON is
 /// toolchain-neutral).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Source host index.
     pub src: usize,
@@ -44,16 +44,70 @@ impl From<&TraceRecord> for FlowArrival {
     }
 }
 
+/// Why a trace failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The input was not JSON at all.
+    Json(minijson::ParseError),
+    /// The JSON was well-formed but not shaped like a trace.
+    Shape(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Json(e) => write!(f, "invalid JSON: {e}"),
+            TraceError::Shape(msg) => write!(f, "invalid trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// Serialize an arrival list to JSON.
 pub fn to_json(flows: &[FlowArrival]) -> String {
-    let records: Vec<TraceRecord> = flows.iter().map(TraceRecord::from).collect();
-    serde_json::to_string(&records).expect("trace records are always serializable")
+    Value::Arr(
+        flows
+            .iter()
+            .map(TraceRecord::from)
+            .map(|r| {
+                obj([
+                    ("src", Value::from(r.src)),
+                    ("dst", Value::from(r.dst)),
+                    ("size_bytes", Value::from(r.size_bytes)),
+                    ("start_ns", Value::from(r.start_ns)),
+                ])
+            })
+            .collect(),
+    )
+    .to_string()
+}
+
+fn field(record: &Value, key: &str, index: usize) -> Result<u64, TraceError> {
+    record[key]
+        .as_u64()
+        .ok_or_else(|| TraceError::Shape(format!("record {index}: missing integer `{key}`")))
 }
 
 /// Parse an arrival list from JSON (inverse of [`to_json`]).
-pub fn from_json(json: &str) -> Result<Vec<FlowArrival>, serde_json::Error> {
-    let records: Vec<TraceRecord> = serde_json::from_str(json)?;
-    Ok(records.iter().map(FlowArrival::from).collect())
+pub fn from_json(json: &str) -> Result<Vec<FlowArrival>, TraceError> {
+    let doc = Value::parse(json).map_err(TraceError::Json)?;
+    let records = doc
+        .as_array()
+        .ok_or_else(|| TraceError::Shape("top level must be an array".into()))?;
+    records
+        .iter()
+        .enumerate()
+        .map(|(i, rec)| {
+            let r = TraceRecord {
+                src: field(rec, "src", i)? as usize,
+                dst: field(rec, "dst", i)? as usize,
+                size_bytes: field(rec, "size_bytes", i)?,
+                start_ns: field(rec, "start_ns", i)?,
+            };
+            Ok(FlowArrival::from(&r))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -104,5 +158,6 @@ mod tests {
     fn bad_json_is_an_error_not_a_panic() {
         assert!(from_json("not json").is_err());
         assert!(from_json(r#"[{"src":1}]"#).is_err());
+        assert!(from_json(r#"{"src":1}"#).is_err());
     }
 }

@@ -116,7 +116,11 @@ fn main() {
     println!(
         "\nall-reduce step time (max over ring flows): {:.2}x {} with VAI SF",
         (base_step / mech_step).max(mech_step / base_step),
-        if mech_step < base_step { "faster" } else { "slower" },
+        if mech_step < base_step {
+            "faster"
+        } else {
+            "slower"
+        },
     );
     println!("The step is a max over flows, so shaving the per-flow tail shaves the step.");
 }

@@ -54,9 +54,7 @@ impl IntAimd {
             // The same parameterization HPCC's VAI uses: congestion is a
             // queue depth in bytes, one token per KB, threshold = min BDP.
             vai: with_mechanisms.then(|| VariableAi::new(VaiConfig::hpcc_default(50_000.0))),
-            sf: with_mechanisms.then(|| {
-                SamplingFrequency::new(SfConfig::paper_default())
-            }),
+            sf: with_mechanisms.then(|| SamplingFrequency::new(SfConfig::paper_default())),
             last_decrease: Nanos::ZERO,
             name: if with_mechanisms {
                 "int-aimd VAI SF"
@@ -135,10 +133,18 @@ fn run(with_mechanisms: bool) -> (String, f64) {
                 size: Bytes::from_mb(1),
                 start: Nanos::from_micros(20 * (i as u64 / 2)),
             },
-            Box::new(IntAimd::new(base_rtt, BitRate::from_gbps(100), with_mechanisms)),
+            Box::new(IntAimd::new(
+                base_rtt,
+                BitRate::from_gbps(100),
+                with_mechanisms,
+            )),
         );
     }
-    let label = net.flow(fairness_repro::netsim::FlowId(0)).cc.name().to_string();
+    let label = net
+        .flow(fairness_repro::netsim::FlowId(0))
+        .cc
+        .name()
+        .to_string();
     let mut sim = Simulation::new(net);
     {
         let (world, queue) = sim.split_mut();

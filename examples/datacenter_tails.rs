@@ -42,7 +42,10 @@ fn main() {
                 p.median
             );
         }
-        let tail = res.table.mean_tail_above(LONG_FLOW_BYTES).unwrap_or(f64::NAN);
+        let tail = res
+            .table
+            .mean_tail_above(LONG_FLOW_BYTES)
+            .unwrap_or(f64::NAN);
         println!("\n  long-flow (>1MB) mean p99.9 slowdown: {tail:.1}x\n");
         summaries.push((res.label.clone(), tail));
     }

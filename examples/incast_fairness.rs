@@ -18,7 +18,12 @@ fn main() {
     println!("16-1 staggered incast (two 1MB flows join every 20us):\n");
     println!(
         "{:<22} {:>16} {:>12} {:>12} {:>12} {:>18}",
-        "variant", "converge@0.9(us)", "unfairness", "peak q (KB)", "mean q (KB)", "finish spread(us)"
+        "variant",
+        "converge@0.9(us)",
+        "unfairness",
+        "peak q (KB)",
+        "mean q (KB)",
+        "finish spread(us)"
     );
     println!("{}", "-".repeat(98));
 

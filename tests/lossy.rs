@@ -9,10 +9,7 @@ use fairness_repro::fairsim::{CcSpec, NetEnv, ProtocolKind, Variant};
 use fairness_repro::netsim::{FlowSpec, MonitorConfig, NetConfig, Topology};
 use fairness_repro::workloads::{staggered_incast, IncastConfig};
 
-fn run_incast_with_buffer(
-    cc: CcSpec,
-    buffer: Bytes,
-) -> (u64, bool) {
+fn run_incast_with_buffer(cc: CcSpec, buffer: Bytes) -> (u64, bool) {
     let topo = Topology::paper_star(17);
     let env = NetEnv::incast_star(topo.base_rtt);
     let hosts = topo.hosts.clone();
@@ -28,7 +25,10 @@ fn run_incast_with_buffer(
         },
         MonitorConfig::default(),
     );
-    for (i, f) in staggered_incast(&IncastConfig::paper_16_1()).iter().enumerate() {
+    for (i, f) in staggered_incast(&IncastConfig::paper_16_1())
+        .iter()
+        .enumerate()
+    {
         net.add_flow(
             FlowSpec {
                 src: hosts[f.src],
@@ -75,7 +75,10 @@ fn tiny_buffers_drop_but_everything_still_delivers() {
         CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
         Bytes::from_kb(30),
     );
-    assert!(drops > 0, "a 30 KB buffer must overflow under a 16-1 incast");
+    assert!(
+        drops > 0,
+        "a 30 KB buffer must overflow under a 16-1 incast"
+    );
     assert!(finished, "go-back-N failed to recover the incast");
 }
 

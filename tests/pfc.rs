@@ -23,7 +23,10 @@ fn incast_peak_queue_with_pfc(cc: CcSpec) -> u64 {
         MonitorConfig::default(),
     );
     let (n, p) = net.port_towards(switch, hosts[16]).unwrap();
-    for (i, f) in staggered_incast(&IncastConfig::paper_16_1()).iter().enumerate() {
+    for (i, f) in staggered_incast(&IncastConfig::paper_16_1())
+        .iter()
+        .enumerate()
+    {
         net.add_flow(
             FlowSpec {
                 src: hosts[f.src],

@@ -1,10 +1,11 @@
 //! Property-based integration tests: random topologies and traffic must
-//! uphold the simulator's conservation invariants.
+//! uphold the simulator's conservation invariants. Randomness comes from
+//! the in-repo deterministic RNG (seeded per case), so failures replay
+//! exactly.
 
-use fairness_repro::dcsim::{BitRate, Bytes, Nanos, Simulation};
+use fairness_repro::dcsim::{BitRate, Bytes, DetRng, Nanos, Simulation};
 use fairness_repro::faircc::{AckFeedback, CcMode, CongestionControl, SenderLimits};
 use fairness_repro::netsim::{FlowSpec, MonitorConfig, NetBuilder, NetConfig};
-use proptest::prelude::*;
 
 struct FixedRate(BitRate);
 impl CongestionControl for FixedRate {
@@ -20,20 +21,14 @@ impl CongestionControl for FixedRate {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// On a random star with random fixed-rate flows, every flow always
-    /// completes, every byte is conserved (acked == size), and no FCT
-    /// beats the physics bound size/line_rate.
-    #[test]
-    fn prop_star_flows_complete_and_conserve_bytes(
-        n_hosts in 3usize..10,
-        flows in prop::collection::vec(
-            (0usize..20, 0usize..20, 10_000u64..500_000, 0u64..200, 1u64..80),
-            1..12,
-        ),
-    ) {
+/// On a random star with random fixed-rate flows, every flow always
+/// completes, every byte is conserved (acked == size), and no FCT
+/// beats the physics bound size/line_rate.
+#[test]
+fn prop_star_flows_complete_and_conserve_bytes() {
+    for case in 0..24u64 {
+        let mut rng = DetRng::new(0xface_0000 + case);
+        let n_hosts = 3 + rng.below(7) as usize;
         let mut b = NetBuilder::new();
         let hosts: Vec<_> = (0..n_hosts).map(|_| b.add_host()).collect();
         let sw = b.add_switch();
@@ -41,25 +36,27 @@ proptest! {
             b.link(h, sw, BitRate::from_gbps(100), Nanos::MICRO);
         }
         let mut net = b.build(NetConfig::default(), MonitorConfig::default());
-        let mut specs = Vec::new();
-        for (src, dst, size, start_us, rate_g) in flows {
-            let src = src % n_hosts;
-            let dst = dst % n_hosts;
+        let mut n_flows = 0usize;
+        for _ in 0..1 + rng.below(11) {
+            let src = rng.below(n_hosts as u64) as usize;
+            let dst = rng.below(n_hosts as u64) as usize;
             if src == dst {
                 continue;
             }
-            specs.push((src, dst, size));
+            n_flows += 1;
             net.add_flow(
                 FlowSpec {
                     src: hosts[src],
                     dst: hosts[dst],
-                    size: Bytes(size),
-                    start: Nanos::from_micros(start_us),
+                    size: Bytes(10_000 + rng.below(490_000)),
+                    start: Nanos::from_micros(rng.below(200)),
                 },
-                Box::new(FixedRate(BitRate::from_gbps(rate_g))),
+                Box::new(FixedRate(BitRate::from_gbps(1 + rng.below(79)))),
             );
         }
-        prop_assume!(!specs.is_empty());
+        if n_flows == 0 {
+            continue;
+        }
         let mut sim = Simulation::new(net);
         {
             let (w, q) = sim.split_mut();
@@ -67,28 +64,30 @@ proptest! {
         }
         sim.run_until(Nanos::from_millis(200));
         let net = sim.world();
-        prop_assert!(net.all_finished(), "some flow never completed");
+        assert!(net.all_finished(), "case {case}: some flow never completed");
         for (i, rec) in net.monitor.fcts().iter().enumerate() {
             let f = net.flow(rec.flow);
             // Byte conservation: the sender accounted exactly the flow
             // size, no more (no duplication), no less (no loss).
-            prop_assert_eq!(f.acked, f.spec.size.0);
-            prop_assert_eq!(f.sent, f.spec.size.0);
+            assert_eq!(f.acked, f.spec.size.0, "case {case}");
+            assert_eq!(f.sent, f.spec.size.0, "case {case}");
             // Physics: FCT at least size / line-rate.
             let floor = BitRate::from_gbps(100).serialization_delay(f.spec.size);
-            prop_assert!(
+            assert!(
                 rec.fct() >= floor,
-                "flow {} FCT {:?} beat serialization floor {:?}",
-                i, rec.fct(), floor
+                "case {case}: flow {i} FCT {:?} beat serialization floor {floor:?}",
+                rec.fct(),
             );
         }
     }
+}
 
-    /// The event engine never runs time backwards and conserves
-    /// pushes/pops across arbitrary interleaving (driven through the
-    /// whole network stack rather than the raw queue).
-    #[test]
-    fn prop_simulation_time_monotone(seed in 0u64..1000) {
+/// The event engine never runs time backwards and conserves pushes/pops
+/// across arbitrary interleaving (driven through the whole network stack
+/// rather than the raw queue).
+#[test]
+fn prop_simulation_time_monotone() {
+    for seed in (0..1000u64).step_by(41) {
         let mut b = NetBuilder::new();
         let h0 = b.add_host();
         let h1 = b.add_host();
@@ -96,7 +95,10 @@ proptest! {
         b.link(h0, sw, BitRate::from_gbps(100), Nanos::MICRO);
         b.link(h1, sw, BitRate::from_gbps(100), Nanos::MICRO);
         let mut net = b.build(
-            NetConfig { seed, ..NetConfig::default() },
+            NetConfig {
+                seed,
+                ..NetConfig::default()
+            },
             MonitorConfig {
                 sample_interval: Some(Nanos::from_micros(7)),
                 sample_until: Nanos::from_millis(1),
@@ -120,14 +122,14 @@ proptest! {
         }
         let mut last = Nanos::ZERO;
         while sim.step() {
-            prop_assert!(sim.now() >= last);
+            assert!(sim.now() >= last, "seed {seed}: time ran backwards");
             last = sim.now();
         }
-        prop_assert!(sim.world().all_finished());
+        assert!(sim.world().all_finished());
         // Samples are strictly time-ordered.
         let samples = sim.world().monitor.samples();
         for w in samples.windows(2) {
-            prop_assert!(w[1].t > w[0].t);
+            assert!(w[1].t > w[0].t, "seed {seed}: samples out of order");
         }
     }
 }

@@ -3,7 +3,7 @@
 //! sane dynamics.
 
 use fairness_repro::dcsim::{Bytes, Nanos};
-use fairness_repro::fairsim::{CcSpec, IncastScenario, ProtocolKind, Variant};
+use fairness_repro::fairsim::{CcSpec, IncastScenario, ProtocolKind, SchedulerKind, Variant};
 use fairness_repro::workloads::IncastConfig;
 
 fn scenario(kind: ProtocolKind, variant: Variant) -> IncastScenario {
@@ -18,6 +18,7 @@ fn scenario(kind: ProtocolKind, variant: Variant) -> IncastScenario {
         seed: 17,
         sample_interval: Nanos::from_micros(5),
         horizon: Nanos::from_millis(30),
+        scheduler: SchedulerKind::default(),
     }
 }
 
@@ -44,8 +45,14 @@ fn every_protocol_variant_completes_the_incast() {
                 .fold(f64::MIN, f64::max);
             let total_bytes = 8.0 * 400_000.0;
             let rate = total_bytes * 8.0 / last_finish;
-            assert!(rate < 100e9 * 1.01, "{kind:?}/{variant:?} beat line rate: {rate}");
-            assert!(rate > 10e9, "{kind:?}/{variant:?} pathologically slow: {rate}");
+            assert!(
+                rate < 100e9 * 1.01,
+                "{kind:?}/{variant:?} beat line rate: {rate}"
+            );
+            assert!(
+                rate > 10e9,
+                "{kind:?}/{variant:?} pathologically slow: {rate}"
+            );
         }
     }
 }
