@@ -6,6 +6,7 @@
 //! fat-tree datacenter runs to laptop size; `Full` reproduces the paper's
 //! exact 320-host / 50 ms configuration (hours of CPU).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use dcsim::Nanos;

@@ -25,6 +25,7 @@
 //!   * *hyper increase* (min(iters) > F): `Rt ← Rt + R_HAI`, then halve
 //!     toward `Rc` as above.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use dcsim::{BitRate, Bytes, Nanos};
@@ -197,7 +198,7 @@ impl CongestionControl for Dcqcn {
     }
 
     fn limits(&self) -> SenderLimits {
-        SenderLimits::rate_based(BitRate(self.rc.round() as u64))
+        SenderLimits::rate_based(BitRate::from_bps_f64(self.rc))
     }
 
     fn mode(&self) -> CcMode {
@@ -241,7 +242,7 @@ mod tests {
         let mut d = dcqcn();
         let mut now = Nanos(0);
         for _ in 0..100 {
-            now = d.next_timer().unwrap();
+            now = d.next_timer().expect("DCQCN always arms its rate timer");
             d.on_timer(now);
         }
         assert!(d.alpha() < 0.9, "alpha {}", d.alpha());
@@ -255,7 +256,11 @@ mod tests {
     fn fast_recovery_climbs_halfway_back() {
         let mut d = dcqcn();
         d.on_cnp(Nanos(0)); // Rc=50G, Rt=100G
-        d.on_timer(d.next_timer().unwrap().max(d.rate_due));
+        d.on_timer(
+            d.next_timer()
+                .expect("DCQCN always arms its rate timer")
+                .max(d.rate_due),
+        );
         // After one fast-recovery event: Rc = (100+50)/2 = 75G.
         assert!((d.rate() - 75e9).abs() < 1e-3 * 75e9, "{}", d.rate());
     }
@@ -300,7 +305,10 @@ mod tests {
         // Then recover for a long time.
         let mut now = Nanos(1_000_000);
         for _ in 0..30_000 {
-            now = d.next_timer().unwrap().max(now);
+            now = d
+                .next_timer()
+                .expect("DCQCN always arms its rate timer")
+                .max(now);
             d.on_timer(now);
         }
         assert!(d.rate() <= d.cfg.line_rate.as_f64());

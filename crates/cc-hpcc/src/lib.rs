@@ -28,6 +28,7 @@
 //! * **SF** — decrease-side reference updates every `s` ACKs instead of
 //!   per RTT ([`faircc::SamplingFrequency`]).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use dcsim::{BitRate, Bytes, DetRng, Nanos};
@@ -535,7 +536,10 @@ mod tests {
             };
             h.on_ack(&a);
         }
-        let vai = h.vai.as_ref().unwrap();
+        let vai = h
+            .vai
+            .as_ref()
+            .expect("VaiSf variant carries a VAI instance");
         assert!(vai.bank() > 0.0, "VAI should have minted tokens");
     }
 

@@ -28,6 +28,7 @@
 //! * "Swift 1Gbps" (high AI) and "Swift Probabilistic" baselines mirror
 //!   the HPCC ones.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use dcsim::{BitRate, DetRng, Nanos};
@@ -69,7 +70,7 @@ impl FbsConfig {
         let beta = -alpha / self.max_cwnd.sqrt();
         let cwnd = cwnd.max(self.min_cwnd);
         let raw = alpha / cwnd.sqrt() + beta;
-        Nanos(raw.clamp(0.0, self.range.as_u64() as f64) as u64)
+        Nanos::from_ns_f64(raw.clamp(0.0, self.range.as_u64() as f64))
     }
 }
 
@@ -630,7 +631,13 @@ mod tests {
             now += Nanos(5_000);
             s.on_ack(&ack(now, Nanos(20_000)));
         }
-        assert!(s.vai.as_ref().unwrap().bank() > 0.0);
+        assert!(
+            s.vai
+                .as_ref()
+                .expect("VaiSf variant carries a VAI instance")
+                .bank()
+                > 0.0
+        );
     }
 
     #[test]

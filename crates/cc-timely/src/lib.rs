@@ -23,6 +23,7 @@
 //! else                : rate ×= 1 − β·gradient
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use dcsim::{BitRate, Nanos};
@@ -248,7 +249,7 @@ impl CongestionControl for Timely {
     }
 
     fn limits(&self) -> SenderLimits {
-        SenderLimits::rate_based(BitRate(self.rate.round() as u64))
+        SenderLimits::rate_based(BitRate::from_bps_f64(self.rate))
     }
 
     fn mode(&self) -> CcMode {
@@ -326,7 +327,7 @@ mod tests {
         // RTTs in (T_low, T_high) but falling: gradient < 0.
         for (i, rtt_us) in [9.0f64, 8.5, 8.0, 7.5, 7.0].iter().enumerate() {
             now += Nanos(1000 * (i as u64 + 1));
-            t.on_ack(&ack(now, Nanos((*rtt_us * 1000.0) as u64)));
+            t.on_ack(&ack(now, Nanos::from_ns_f64(*rtt_us * 1000.0)));
         }
         assert!(t.gradient() < 0.0);
         assert!(t.rate() > 10e9);
@@ -340,7 +341,7 @@ mod tests {
         // Rising RTTs inside the band.
         for rtt_us in [7.0f64, 8.0, 9.0, 10.0, 11.0] {
             now += Nanos(10_000);
-            t.on_ack(&ack(now, Nanos((rtt_us * 1000.0) as u64)));
+            t.on_ack(&ack(now, Nanos::from_ns_f64(rtt_us * 1000.0)));
         }
         assert!(t.gradient() > 0.0);
         assert!(t.rate() < 100e9);
@@ -410,7 +411,13 @@ mod tests {
             now += Nanos(4_000);
             t.on_ack(&ack(now, Nanos(25_000)));
         }
-        assert!(t.vai.as_ref().unwrap().bank() > 0.0);
+        assert!(
+            t.vai
+                .as_ref()
+                .expect("VaiSf variant carries a VAI instance")
+                .bank()
+                > 0.0
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ impl SenderLimits {
     pub fn windowed(window_bytes: f64, base_rtt: Nanos) -> Self {
         let secs = base_rtt.as_secs_f64();
         let pacing = if secs > 0.0 {
-            BitRate(((window_bytes * 8.0 / secs).round().min(u64::MAX as f64)) as u64)
+            BitRate::from_bps_f64(window_bytes * 8.0 / secs)
         } else {
             BitRate(u64::MAX)
         };

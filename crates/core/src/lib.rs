@@ -31,6 +31,7 @@
 //! `cc-dcqcn`); this crate stays dependency-light so mechanisms can be reused
 //! outside the simulator (e.g. in the fluid model or in unit studies).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cc;

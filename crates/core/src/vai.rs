@@ -167,6 +167,36 @@ impl VariableAi {
         // Line 14.
         self.measured = 0.0;
         self.any_congestion = false;
+        self.audit_bounds();
+    }
+
+    /// sim-audit: the paper's state bounds. The bank stays in
+    /// `[0, Bank_Cap]`, the dampener never goes negative, and the measured
+    /// congestion accumulator is non-negative by construction.
+    fn audit_bounds(&self) {
+        dcsim::audit_assert!(
+            self.bank >= 0.0 && self.bank <= self.cfg.bank_cap,
+            "VAI bank {} outside [0, {}]",
+            self.bank,
+            self.cfg.bank_cap
+        );
+        dcsim::audit_assert!(
+            self.dampener >= 0.0,
+            "VAI dampener {} went negative",
+            self.dampener
+        );
+        dcsim::audit_assert!(
+            self.measured >= 0.0,
+            "VAI measured congestion {} went negative",
+            self.measured
+        );
+    }
+
+    /// Test hook: corrupt the token bank so audit tests can prove the
+    /// bounds check fires. Compiled only with `sim-audit`.
+    #[cfg(feature = "sim-audit")]
+    pub fn audit_corrupt_bank(&mut self, bank: f64) {
+        self.bank = bank;
     }
 
     /// Algorithm 2: how many effective tokens to apply to this rate update.
@@ -182,7 +212,14 @@ impl VariableAi {
             self.bank = (self.bank - tokens).max(0.0);
         }
         let divisor = self.dampener / self.cfg.dampener_constant + 1.0;
-        (tokens / divisor).max(1.0)
+        let m = (tokens / divisor).max(1.0);
+        dcsim::audit_assert!(
+            m >= 1.0 && m <= self.cfg.ai_cap.max(1.0),
+            "VAI multiplier {m} outside [1, {}]",
+            self.cfg.ai_cap
+        );
+        self.audit_bounds();
+        m
     }
 
     /// Current banked tokens (for instrumentation/tests).

@@ -1,0 +1,102 @@
+//! Runtime invariant audit support (the `sim-audit` feature).
+//!
+//! The simulator's correctness rests on a handful of structural
+//! invariants — the clock never runs backwards, FIFO ties break by
+//! insertion order, every byte enqueued at a port is eventually
+//! transmitted, dropped, or resident. Violations of these invariants do
+//! not crash; they silently skew results. The `sim-audit` feature turns
+//! them into hard assertions at the places where they are cheapest to
+//! check.
+//!
+//! Crates downstream of `dcsim` forward the feature
+//! (`sim-audit = ["dcsim/sim-audit"]`) so that one flag controls the
+//! whole workspace:
+//!
+//! ```text
+//! cargo test --features sim-audit
+//! ```
+//!
+//! The checks are compiled out entirely when the feature is off — the
+//! macros expand to a constant-false branch the optimizer removes — so
+//! release benchmarks are unaffected.
+
+/// Whether invariant audits are compiled into this build.
+///
+/// Referenced by [`audit_assert!`](crate::audit_assert) via `$crate` so
+/// downstream crates gate on *dcsim's* feature unification, not their
+/// own `cfg!` context.
+pub const ENABLED: bool = cfg!(feature = "sim-audit");
+
+/// Assert a simulator invariant when the `sim-audit` feature is on.
+///
+/// Identical to `assert!` under `--features sim-audit`; expands to a
+/// branch on a `false` constant otherwise (dead-code eliminated, and
+/// the arguments still type-check in both configurations).
+#[macro_export]
+macro_rules! audit_assert {
+    ($cond:expr, $($arg:tt)+) => {
+        if $crate::audit::ENABLED && !$cond {
+            panic!(
+                "sim-audit invariant violated: {}",
+                format_args!($($arg)+)
+            );
+        }
+    };
+}
+
+/// Assert two simulator quantities are equal when `sim-audit` is on.
+///
+/// Like `assert_eq!`, but the failure message leads with both values so
+/// conservation mismatches show the delta at a glance.
+#[macro_export]
+macro_rules! audit_assert_eq {
+    ($left:expr, $right:expr, $($arg:tt)+) => {
+        if $crate::audit::ENABLED {
+            let l = $left;
+            let r = $right;
+            if l != r {
+                panic!(
+                    "sim-audit invariant violated: {} (left = {:?}, right = {:?})",
+                    format_args!($($arg)+),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enabled_tracks_feature() {
+        assert_eq!(super::ENABLED, cfg!(feature = "sim-audit"));
+    }
+
+    #[test]
+    fn passing_asserts_are_silent() {
+        audit_assert!(1 + 1 == 2, "arithmetic holds");
+        audit_assert_eq!(3_u64, 3_u64, "identical values compare equal");
+    }
+
+    #[cfg(feature = "sim-audit")]
+    #[test]
+    #[should_panic(expected = "sim-audit invariant violated")]
+    fn failing_assert_panics_when_enabled() {
+        audit_assert!(false, "deliberate failure for the test");
+    }
+
+    #[cfg(feature = "sim-audit")]
+    #[test]
+    #[should_panic(expected = "sim-audit invariant violated")]
+    fn failing_assert_eq_panics_when_enabled() {
+        audit_assert_eq!(1_u64, 2_u64, "deliberate mismatch for the test");
+    }
+
+    #[cfg(not(feature = "sim-audit"))]
+    #[test]
+    fn failing_assert_is_compiled_out_when_disabled() {
+        audit_assert!(false, "must not fire without the feature");
+        audit_assert_eq!(1_u64, 2_u64, "must not fire without the feature");
+    }
+}

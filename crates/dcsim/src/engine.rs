@@ -111,6 +111,11 @@ impl<W: World, S: Scheduler<W::Event>> Simulation<W, S> {
                     "time ran backwards: popped {at:?} at now={:?}",
                     self.now
                 );
+                crate::audit_assert!(
+                    at >= self.now,
+                    "clock monotonicity: popped {at:?} while now={:?}",
+                    self.now
+                );
                 self.now = at;
                 self.events_handled += 1;
                 self.world.handle(at, ev, &mut self.queue);

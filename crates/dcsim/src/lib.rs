@@ -52,8 +52,10 @@
 //! assert_eq!(sim.now(), Nanos(30));
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod engine;
 pub mod queue;
 pub mod rng;

@@ -50,6 +50,12 @@ pub struct EventQueue<E> {
     next_seq: u64,
     pushed: u64,
     popped: u64,
+    /// Events discarded by [`clear`](Self::clear), so the sim-audit
+    /// conservation check `pushed == popped + cleared + len` stays exact.
+    cleared: u64,
+    /// `(time, seq)` of the most recent pop — the sim-audit witness that
+    /// dispatch order is monotone in time and FIFO within a timestamp.
+    last_popped: Option<(Nanos, u64)>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -66,6 +72,8 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             pushed: 0,
             popped: 0,
+            cleared: 0,
+            last_popped: None,
         }
     }
 
@@ -78,6 +86,8 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             pushed: 0,
             popped: 0,
+            cleared: 0,
+            last_popped: None,
         }
     }
 
@@ -95,6 +105,22 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
         self.heap.pop().map(|e| {
             self.popped += 1;
+            if crate::audit::ENABLED {
+                if let Some((lt, lseq)) = self.last_popped {
+                    crate::audit_assert!(
+                        e.at > lt || (e.at == lt && e.seq > lseq),
+                        "heap pop order regressed: ({:?}, seq {}) after ({lt:?}, seq {lseq})",
+                        e.at,
+                        e.seq
+                    );
+                }
+                self.last_popped = Some((e.at, e.seq));
+                crate::audit_assert_eq!(
+                    self.pushed,
+                    self.popped + self.cleared + self.heap.len() as u64,
+                    "heap event conservation: pushed != popped + cleared + pending"
+                );
+            }
             (e.at, e.event)
         })
     }
@@ -131,6 +157,7 @@ impl<E> EventQueue<E> {
 
     /// Drop all pending events (e.g. when a run ends at its horizon).
     pub fn clear(&mut self) {
+        self.cleared += self.heap.len() as u64;
         self.heap.clear();
     }
 }

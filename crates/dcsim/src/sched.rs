@@ -110,7 +110,12 @@ mod tests {
     #[test]
     fn kind_round_trips_through_names() {
         for kind in SchedulerKind::ALL {
-            assert_eq!(kind.name().parse::<SchedulerKind>().unwrap(), kind);
+            assert_eq!(
+                kind.name()
+                    .parse::<SchedulerKind>()
+                    .expect("every kind name parses back"),
+                kind
+            );
         }
         assert!("quantum".parse::<SchedulerKind>().is_err());
     }

@@ -113,6 +113,20 @@ impl fmt::Display for Bytes {
     }
 }
 
+impl Nanos {
+    /// Quantize a fractional duration (ns) onto the integer nanosecond grid.
+    ///
+    /// The sanctioned f64→u64 crossing for times, mirroring
+    /// [`BitRate::from_bps_f64`] — but *truncating* rather than rounding,
+    /// matching the discretization the congestion-control delay math has
+    /// always used (so golden determinism traces are unchanged). Negative
+    /// values and NaN map to zero; overflow saturates.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Nanos {
+        Nanos(ns as u64)
+    }
+}
+
 /// A link or injection rate in bits per second.
 ///
 /// 100 Gbps — the paper's host link speed — is 1e11 bps, comfortably inside
@@ -135,6 +149,17 @@ impl BitRate {
     #[inline]
     pub const fn from_mbps(m: u64) -> Self {
         BitRate(m * 1_000_000)
+    }
+
+    /// Quantize a fractional rate (bps) onto the integer rate grid.
+    ///
+    /// This is the one sanctioned f64→u64 crossing for rates: protocol
+    /// crates keep mid-update rates in `f64` and materialize them here.
+    /// Rounds to nearest; saturates at the `u64` range; NaN maps to zero
+    /// (Rust's float-to-int `as` semantics, which are platform-independent).
+    #[inline]
+    pub fn from_bps_f64(bps: f64) -> Self {
+        BitRate(bps.round() as u64)
     }
 
     /// Raw bits-per-second value.

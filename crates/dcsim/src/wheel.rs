@@ -123,6 +123,9 @@ pub struct TimingWheel<E> {
     pushed: u64,
     popped: u64,
     pending: usize,
+    /// `(time, seq)` of the most recent pop — the sim-audit witness that
+    /// dispatch order is monotone in time and FIFO within a timestamp.
+    last_popped: Option<(Nanos, u64)>,
 }
 
 impl<E> Default for TimingWheel<E> {
@@ -144,6 +147,34 @@ impl<E> TimingWheel<E> {
             pushed: 0,
             popped: 0,
             pending: 0,
+            last_popped: None,
+        }
+    }
+
+    /// sim-audit: the `pending` counter must equal the entries actually
+    /// resident across the wheel slots, the spill heap, and the active
+    /// drain buffer. O(levels × slots), so checked once per slot drain,
+    /// not per pop.
+    fn audit_occupancy(&self) {
+        if crate::audit::ENABLED {
+            let resident: usize = self.slots.iter().map(Vec::len).sum::<usize>()
+                + self.spill.len()
+                + self.active.len();
+            crate::audit_assert_eq!(
+                self.pending,
+                resident,
+                "wheel occupancy accounting: pending != slots + spill + active"
+            );
+            for (level, &occ) in self.occupied.iter().enumerate() {
+                for slot in 0..SLOTS {
+                    let has = !self.slots[level * SLOTS + slot].is_empty();
+                    crate::audit_assert_eq!(
+                        occ & (1 << slot) != 0,
+                        has,
+                        "wheel bitmap desync at level {level} slot {slot}"
+                    );
+                }
+            }
         }
     }
 
@@ -155,6 +186,12 @@ impl<E> TimingWheel<E> {
         debug_assert!(
             e.at.0 >= self.cursor,
             "push at {:?} is before the wheel cursor {}",
+            e.at,
+            self.cursor
+        );
+        crate::audit_assert!(
+            e.at.0 >= self.cursor,
+            "clock monotonicity: wheel push at {:?} behind cursor {}",
             e.at,
             self.cursor
         );
@@ -269,6 +306,17 @@ impl<E> TimingWheel<E> {
                     self.active
                         .sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
                     self.cursor = t0;
+                    if crate::audit::ENABLED {
+                        // Invariant 1: a level-0 slot holds one timestamp.
+                        for e in &self.active {
+                            crate::audit_assert_eq!(
+                                e.at.0,
+                                t0,
+                                "level-0 slot mixed timestamps at commit"
+                            );
+                        }
+                        self.audit_occupancy();
+                    }
                     return;
                 }
                 Advance::Cascade(lb, idx) => {
@@ -320,6 +368,17 @@ impl<E> Scheduler<E> for TimingWheel<E> {
         let e = self.active.pop().expect("drained slot is non-empty");
         self.popped += 1;
         self.pending -= 1;
+        if crate::audit::ENABLED {
+            if let Some((lt, lseq)) = self.last_popped {
+                crate::audit_assert!(
+                    e.at > lt || (e.at == lt && e.seq > lseq),
+                    "wheel pop order regressed: ({:?}, seq {}) after ({lt:?}, seq {lseq})",
+                    e.at,
+                    e.seq
+                );
+            }
+            self.last_popped = Some((e.at, e.seq));
+        }
         Some((e.at, e.event))
     }
 

@@ -36,8 +36,8 @@ impl PairedComparison {
         treatment: &[FlowOutcome],
         long_cutoff: u64,
     ) -> PairedComparison {
-        use std::collections::HashMap;
-        let t: HashMap<u32, (u64, f64)> = treatment
+        use std::collections::BTreeMap;
+        let t: BTreeMap<u32, (u64, f64)> = treatment
             .iter()
             .map(|&(id, size, s)| (id, (size, s)))
             .collect();
@@ -57,11 +57,11 @@ impl PairedComparison {
             }
             let speedup = base_s / treat_s;
             n += 1;
-            improved += (speedup > 1.0) as usize;
+            improved += usize::from(speedup > 1.0);
             log_sum += speedup.ln();
             if size > long_cutoff {
                 long_n += 1;
-                long_improved += (speedup > 1.0) as usize;
+                long_improved += usize::from(speedup > 1.0);
                 long_log_sum += speedup.ln();
             }
         }

@@ -187,7 +187,7 @@ mod tests {
         assert!(json.contains("\"label\": \"HPCC\""));
         assert!(json.contains("\"all_finished\": true"));
         // Valid JSON (parse back).
-        let v = minijson::Value::parse(&json).unwrap();
+        let v = minijson::Value::parse(&json).expect("exporter emits valid JSON");
         assert_eq!(v["peak_queue_bytes"].as_u64(), Some(100));
     }
 
@@ -219,7 +219,7 @@ mod tests {
         assert_eq!(s.bins.len(), 2);
         assert_eq!(s.long_flow_tail_mean, Some(10.0));
         let json = to_json(&s);
-        let v = minijson::Value::parse(&json).unwrap();
+        let v = minijson::Value::parse(&json).expect("exporter emits valid JSON");
         assert_eq!(v["bins"][1]["size"].as_u64(), Some(2_000_000));
     }
 }

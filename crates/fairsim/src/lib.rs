@@ -17,6 +17,7 @@
 //! workspace examples call into; it contains no figure-rendering logic of
 //! its own beyond plain text/CSV tables ([`render`]).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

@@ -140,6 +140,7 @@ impl IncastScenario {
         // index is computed over enough trailing samples to cover several
         // packets per flow. The window grows with the incast degree.
         let window_us = (self.incast.senders as f64 * 1.25).max(20.0);
+        // simlint: allow(D4) — dimensionless sample count, not a unit quantity
         let k = (window_us / self.sample_interval.as_micros_f64()).ceil() as usize;
         let jain_series = jain_over_trailing_window(net.monitor.samples(), k.max(1));
         let mut queue_series = Vec::new();
@@ -651,7 +652,7 @@ mod tests {
         // byte-identical to running the original list.
         let arrivals = workloads::permutation(6, Bytes::from_kb(100), Nanos::ZERO, 9);
         let json = workloads::to_json(&arrivals);
-        let replayed = workloads::from_json(&json).unwrap();
+        let replayed = workloads::from_json(&json).expect("to_json output round-trips");
         let mk = |a: Vec<workloads::FlowArrival>| TraceScenario {
             fat_tree: FatTreeConfig {
                 pods: 2,

@@ -277,19 +277,19 @@ mod tests {
         assert_eq!(s.max_mdf, 0.5);
         assert_eq!(s.base_target, Nanos::from_micros(5));
         assert_eq!(s.hop_scale, Nanos::from_micros(2));
-        assert_eq!(s.fbs.unwrap().max_cwnd, 50.0);
+        assert_eq!(s.fbs.expect("FBS variant sets fbs").max_cwnd, 50.0);
 
         // VAI: Token_Thresh = min BDP (~50 KB), 1 token/KB (HPCC) or
         // 30 ns/token (Swift), Bank_Cap 1000, AI_Cap 100, dampener 8.
         let hv = HpccConfig::vai_sf(rtt, line, Bytes::from_kb(50));
-        let vai = hv.vai.unwrap();
+        let vai = hv.vai.expect("vai_sf sets vai");
         assert_eq!(vai.token_thresh, 50_000.0);
         assert_eq!(vai.ai_div, 1_000.0);
         assert_eq!(vai.bank_cap, 1_000.0);
         assert_eq!(vai.ai_cap, 100.0);
         assert_eq!(vai.dampener_constant, 8.0);
         let sv = SwiftConfig::vai_sf(rtt, line, 1);
-        let svai = sv.vai.unwrap();
+        let svai = sv.vai.expect("vai_sf sets vai");
         assert_eq!(svai.ai_div, 30.0);
         // Token_Thresh = static target (5 + 2 us) + 4 us BDP delay.
         assert_eq!(svai.token_thresh, 11_000.0);
@@ -298,7 +298,7 @@ mod tests {
 
         // SF: s = 30 ACKs.
         assert_eq!(SfConfig::paper_default().acks_per_decrease, 30);
-        assert_eq!(hv.sf.unwrap().acks_per_decrease, 30);
+        assert_eq!(hv.sf.expect("vai_sf sets sf").acks_per_decrease, 30);
 
         // Incast: 2 flows per 20 us, 1 MB each, 16 or 96 senders.
         let i16 = IncastConfig::paper_16_1();

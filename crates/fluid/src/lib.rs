@@ -27,6 +27,7 @@
 //! `r = 30000 ns`, `MTU = 1000 B`, `s = 30`, `β = 0.5`, rates 100 and
 //! 50 Gbps.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Model parameters (paper Figure 4 caption).

@@ -8,6 +8,7 @@
 //!   point per percentile-of-flows group, exactly how the paper plots
 //!   "each data point represents 1% of flows".
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod slowdown;

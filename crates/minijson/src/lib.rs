@@ -14,6 +14,7 @@
 //! fit (2^53 ns is ~104 days of simulated time); the writer emits them
 //! without a fractional part.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

@@ -53,8 +53,11 @@ mod tests {
 
     #[test]
     fn ids_are_ordered_and_hashable() {
-        use std::collections::HashSet;
-        let mut s = HashSet::new();
+        // BTreeSet rather than HashSet: the default RandomState hasher is
+        // banned workspace-wide (simlint D1), and the point here is only
+        // that ids implement Ord + Eq for use as deterministic keys.
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
         s.insert(NodeId(1));
         assert!(s.contains(&NodeId(1)));
         assert!(NodeId(1) < NodeId(2));

@@ -35,6 +35,7 @@
 //! See `examples/quickstart.rs` at the workspace root for a two-flow
 //! bottleneck walkthrough.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod flow;

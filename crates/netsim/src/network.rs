@@ -908,7 +908,9 @@ mod tests {
                 Box::new(FixedRate(BitRate::from_gbps(60))),
             );
         }
-        let bottleneck = net.port_towards(sw, h2).unwrap();
+        let bottleneck = net
+            .port_towards(sw, h2)
+            .expect("switch has a port toward every attached host");
         let mut sim = Simulation::new(net);
         {
             let (w, q) = sim.split_mut();
@@ -1109,7 +1111,9 @@ mod tests {
         }
         sim.run_until(Nanos::from_millis(2));
         let net = sim.world();
-        let (n, p) = net.port_towards(sw, h2).unwrap();
+        let (n, p) = net
+            .port_towards(sw, h2)
+            .expect("switch has a port toward every attached host");
         let peak = net.nodes[n.idx()].ports[p.idx()].max_qbytes();
         // Without PFC the peak would approach 1 MB (half the offered
         // excess); with PFC it must stay near xoff plus one BDP of
@@ -1221,7 +1225,9 @@ mod tests {
             assert_eq!(fl.sent, fl.spec.size.0);
         }
         // The drop counter matches the per-port accounting.
-        let (n, p) = net.port_towards(sw, h2).unwrap();
+        let (n, p) = net
+            .port_towards(sw, h2)
+            .expect("switch has a port toward every attached host");
         assert_eq!(
             net.node(n).ports[p.idx()].dropped_packets(),
             net.dropped_data_packets()

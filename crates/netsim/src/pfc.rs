@@ -79,6 +79,10 @@ impl PauseCounter {
             self.0 += 1;
         } else {
             debug_assert!(self.0 > 0, "unbalanced PFC resume");
+            dcsim::audit_assert!(
+                self.0 > 0,
+                "PFC pairing: RESUME with no outstanding PAUSE on this port"
+            );
             self.0 = self.0.saturating_sub(1);
         }
     }

@@ -84,6 +84,16 @@ pub struct Port {
     tx_packets: u64,
     dropped_packets: u64,
     residue_ps: u64,
+    /// Bytes ever offered to this port (accepted + dropped): the left-hand
+    /// side of the sim-audit conservation law
+    /// `enq_bytes == tx_bytes + dropped_bytes + qbytes`.
+    enq_bytes: u64,
+    /// Packets ever offered to this port (accepted + dropped).
+    enq_packets: u64,
+    /// Bytes tail-dropped by the finite buffer.
+    dropped_bytes: u64,
+    /// Packets ECN-marked by RED at this port.
+    ecn_marked: u64,
 }
 
 impl Port {
@@ -107,7 +117,40 @@ impl Port {
             tx_packets: 0,
             dropped_packets: 0,
             residue_ps: 0,
+            enq_bytes: 0,
+            enq_packets: 0,
+            dropped_bytes: 0,
+            ecn_marked: 0,
         }
+    }
+
+    /// sim-audit: every byte offered to the port must be transmitted,
+    /// dropped, or still resident in the queue — and RED can only have
+    /// marked packets the port actually accepted.
+    fn audit_conservation(&self) {
+        dcsim::audit_assert_eq!(
+            self.enq_bytes,
+            self.tx_bytes + self.dropped_bytes + self.qbytes,
+            "port byte conservation: enqueued != transmitted + dropped + resident"
+        );
+        dcsim::audit_assert_eq!(
+            self.enq_packets as usize,
+            self.tx_packets as usize + self.dropped_packets as usize + self.queue.len(),
+            "port packet conservation: enqueued != transmitted + dropped + resident"
+        );
+        dcsim::audit_assert!(
+            self.ecn_marked <= self.enq_packets - self.dropped_packets,
+            "ECN accounting: marked {} of only {} accepted packets",
+            self.ecn_marked,
+            self.enq_packets - self.dropped_packets
+        );
+    }
+
+    /// Test hook: corrupt the byte ledger so audit tests can prove the
+    /// conservation check fires. Compiled only with `sim-audit`.
+    #[cfg(feature = "sim-audit")]
+    pub fn audit_corrupt_qbytes(&mut self, delta: u64) {
+        self.qbytes += delta;
     }
 
     /// Current queue backlog in bytes (excluding the packet on the wire).
@@ -150,10 +193,14 @@ impl Port {
         mut pkt: Box<Packet>,
         red_rng: &mut DetRng,
     ) -> Result<bool, Box<Packet>> {
+        self.enq_bytes += pkt.wire_size as u64;
+        self.enq_packets += 1;
         if pkt.kind == crate::packet::PacketKind::Data {
             if let Some(limit) = self.buffer_limit {
                 if self.qbytes + pkt.wire_size as u64 > limit {
                     self.dropped_packets += 1;
+                    self.dropped_bytes += pkt.wire_size as u64;
+                    self.audit_conservation();
                     return Err(pkt);
                 }
             }
@@ -161,12 +208,14 @@ impl Port {
                 let p = red.mark_probability(Bytes(self.qbytes));
                 if p > 0.0 && red_rng.chance(p) {
                     pkt.ecn = true;
+                    self.ecn_marked += 1;
                 }
             }
         }
         self.qbytes += pkt.wire_size as u64;
         self.max_qbytes = self.max_qbytes.max(self.qbytes);
         self.queue.push_back(pkt);
+        self.audit_conservation();
         Ok(!self.busy && !self.is_paused())
     }
 
@@ -176,6 +225,30 @@ impl Port {
         self.dropped_packets
     }
 
+    /// Cumulative bytes ever offered to this port (accepted + dropped).
+    #[inline]
+    pub fn enq_bytes(&self) -> u64 {
+        self.enq_bytes
+    }
+
+    /// Cumulative packets ever offered to this port (accepted + dropped).
+    #[inline]
+    pub fn enq_packets(&self) -> u64 {
+        self.enq_packets
+    }
+
+    /// Cumulative bytes tail-dropped by the finite buffer.
+    #[inline]
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped_bytes
+    }
+
+    /// Cumulative packets ECN-marked by RED at this port.
+    #[inline]
+    pub fn ecn_marked(&self) -> u64 {
+        self.ecn_marked
+    }
+
     /// Remove the head-of-line packet and account for its transmission.
     /// Returns the packet and its serialization delay.
     pub fn begin_tx(&mut self) -> Option<(Box<Packet>, Nanos)> {
@@ -183,6 +256,7 @@ impl Port {
         self.qbytes -= pkt.wire_size as u64;
         self.tx_bytes += pkt.wire_size as u64;
         self.tx_packets += 1;
+        self.audit_conservation();
         let delay = self.ser_delay(pkt.wire_size);
         Some((pkt, delay))
     }
@@ -238,13 +312,17 @@ mod tests {
         let mut pool = PacketPool::new();
         let mut rng = DetRng::new(1);
         let mut p = port(100);
-        assert!(p.enqueue(data_pkt(&mut pool, 1000), &mut rng).unwrap()); // idle → start
+        assert!(p
+            .enqueue(data_pkt(&mut pool, 1000), &mut rng)
+            .expect("no buffer limit set")); // idle → start
         p.busy = true;
-        assert!(!p.enqueue(data_pkt(&mut pool, 500), &mut rng).unwrap()); // busy
+        assert!(!p
+            .enqueue(data_pkt(&mut pool, 500), &mut rng)
+            .expect("no buffer limit set")); // busy
         assert_eq!(p.qbytes(), 1500);
         assert_eq!(p.max_qbytes(), 1500);
 
-        let (pkt, delay) = p.begin_tx().unwrap();
+        let (pkt, delay) = p.begin_tx().expect("queue has a packet");
         assert_eq!(pkt.wire_size, 1000);
         assert_eq!(delay, Nanos(80)); // 1000B @ 100Gbps
         assert_eq!(p.qbytes(), 500);
@@ -261,8 +339,9 @@ mod tests {
         let mut p = port(100);
         let mut total = Nanos::ZERO;
         for _ in 0..5 {
-            p.enqueue(data_pkt(&mut pool, 60), &mut rng).unwrap();
-            let (_, d) = p.begin_tx().unwrap();
+            p.enqueue(data_pkt(&mut pool, 60), &mut rng)
+                .expect("no buffer limit set");
+            let (_, d) = p.begin_tx().expect("queue has a packet");
             total += d;
         }
         assert_eq!(total, Nanos(24));
@@ -279,12 +358,14 @@ mod tests {
             pmax: 1.0,
         });
         // First packet sees empty queue (0 <= kmin=0 → no mark).
-        p.enqueue(data_pkt(&mut pool, 1000), &mut rng).unwrap();
+        p.enqueue(data_pkt(&mut pool, 1000), &mut rng)
+            .expect("no buffer limit set");
         p.busy = true;
         // Second packet sees 1000 >= kmax → always marked.
-        p.enqueue(data_pkt(&mut pool, 1000), &mut rng).unwrap();
-        let (first, _) = p.begin_tx().unwrap();
-        let (second, _) = p.begin_tx().unwrap();
+        p.enqueue(data_pkt(&mut pool, 1000), &mut rng)
+            .expect("no buffer limit set");
+        let (first, _) = p.begin_tx().expect("queue has a packet");
+        let (second, _) = p.begin_tx().expect("queue has a packet");
         assert!(!first.ecn);
         assert!(second.ecn);
     }
@@ -302,11 +383,12 @@ mod tests {
         let mut ack = pool.get();
         ack.kind = PacketKind::Ack;
         ack.wire_size = 60;
-        p.enqueue(data_pkt(&mut pool, 1000), &mut rng).unwrap(); // fill queue
+        p.enqueue(data_pkt(&mut pool, 1000), &mut rng)
+            .expect("no buffer limit set"); // fill queue
         p.busy = true;
-        p.enqueue(ack, &mut rng).unwrap();
-        p.begin_tx().unwrap();
-        let (ack_out, _) = p.begin_tx().unwrap();
+        p.enqueue(ack, &mut rng).expect("control frames never drop");
+        p.begin_tx().expect("queue has a packet");
+        let (ack_out, _) = p.begin_tx().expect("queue has a packet");
         assert!(!ack_out.ecn);
     }
 
@@ -330,7 +412,9 @@ mod tests {
         let mut rng = DetRng::new(1);
         let mut p = port(100);
         p.pause.apply(true);
-        assert!(!p.enqueue(data_pkt(&mut pool, 1000), &mut rng).unwrap());
+        assert!(!p
+            .enqueue(data_pkt(&mut pool, 1000), &mut rng)
+            .expect("no buffer limit set"));
         assert!(p.has_backlog());
     }
 

@@ -122,7 +122,7 @@ mod tests {
         let stats = port_stats(sim.world(), dcsim::Nanos::from_micros(100));
         // Four ports: h0 NIC, h1 NIC (ACKs only), and two switch ports.
         assert_eq!(stats.len(), 4);
-        let b = bottleneck(&stats).unwrap();
+        let b = bottleneck(&stats).expect("run transmitted on at least one port");
         // Bottleneck is h0's NIC or the switch port toward h1: ~50%.
         assert!(
             (b.utilization - 0.5).abs() < 0.05,
@@ -130,7 +130,10 @@ mod tests {
             b.utilization
         );
         // The ACK-only direction is nearly idle but nonzero.
-        let ack_port = stats.iter().find(|s| s.node == h1 && !s.on_switch).unwrap();
+        let ack_port = stats
+            .iter()
+            .find(|s| s.node == h1 && !s.on_switch)
+            .expect("h1 has a NIC port in the stats");
         assert!(ack_port.tx_bytes > 0);
         assert!(ack_port.utilization < 0.05);
         // No drops in lossless mode.

@@ -336,7 +336,7 @@ mod tests {
         let id = net.add_flow(
             FlowSpec {
                 src: hosts[0],
-                dst: *hosts.last().unwrap(),
+                dst: *hosts.last().expect("topology has hosts"),
                 size: Bytes(100_000),
                 start: Nanos::ZERO,
             },
@@ -479,9 +479,9 @@ mod tests {
             .builder
             .build(NetConfig::default(), MonitorConfig::default());
         let src = hosts[0];
-        let dst = *hosts.last().unwrap(); // other pod
+        let dst = *hosts.last().expect("topology has hosts"); // other pod
         let tor = net.node(src).ports[0].peer.0;
-        let mut used = std::collections::HashSet::new();
+        let mut used = std::collections::BTreeSet::new();
         for f in 0..64 {
             used.insert(net.route_port(tor, dst, FlowId(f)));
         }

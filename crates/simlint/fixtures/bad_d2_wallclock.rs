@@ -1,0 +1,9 @@
+// Known-bad fixture: D2 must fire on wall-clock reads in sim code.
+use std::time::Instant;
+
+fn measure() -> u128 {
+    let t0 = Instant::now();
+    let epoch = std::time::SystemTime::now();
+    let _ = epoch;
+    t0.elapsed().as_nanos()
+}

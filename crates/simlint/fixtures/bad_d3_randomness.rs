@@ -1,0 +1,9 @@
+// Known-bad fixture: D3 must fire on ambient randomness.
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+fn hasher() -> std::collections::hash_map::RandomState {
+    Default::default()
+}

@@ -1,0 +1,24 @@
+// Fixture: idiomatic sim code — the scanner must stay silent, including on
+// rule-like tokens inside strings and comments (HashMap, Instant::now,
+// thread_rng, .unwrap()).
+use std::collections::BTreeMap;
+
+fn routes() -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    m.insert(1, 2);
+    m
+}
+
+fn label() -> &'static str {
+    "HashMap Instant::now thread_rng .unwrap() — strings do not trip rules"
+}
+
+fn delay(total_ps: u64) -> u64 {
+    // Integer-only casts carry no float evidence and are fine.
+    let ns = (total_ps / 1_000) as u32;
+    ns as u64
+}
+
+fn head(q: &std::collections::VecDeque<u32>) -> u32 {
+    *q.front().expect("caller checked backlog")
+}

@@ -1,0 +1,840 @@
+//! `simlint` — the workspace's determinism/invariant static-analysis pass.
+//!
+//! The paper's figures are reproducible only because every run is
+//! bit-deterministic. The golden-fingerprint tests catch a regression *after*
+//! it changed results; this crate prevents the usual sources from entering
+//! the tree at all. It is a hermetic, dependency-free line/token-level
+//! scanner in the spirit of the in-repo `minijson`: a small hand-rolled
+//! lexer strips string literals and comments, then per-line token rules
+//! flag constructs that are forbidden in simulation code.
+//!
+//! # Rules
+//!
+//! | id | forbids | scope |
+//! |----|---------|-------|
+//! | D1 | `HashMap`/`HashSet` with the default `RandomState` hasher | sim crates |
+//! | D2 | wall-clock reads (`Instant`, `SystemTime`) | everywhere but `bench` |
+//! | D3 | ambient randomness (`thread_rng`, `rand::`, `getrandom`, `RandomState`) | everywhere |
+//! | D4 | lossy float→integer casts on time/byte quantities | sim crates, except `units.rs` |
+//! | D5 | `.unwrap()` / `.expect("")` without an invariant message | sim crates |
+//!
+//! *Sim crates* are `dcsim`, `netsim`, `core` (faircc), `cc-*`, `fairsim`,
+//! and the workspace root's `src/`, `tests/`, and `examples/`. The support
+//! crates (`minijson`, `workloads`, `metrics`, `fluid`, `simlint` itself)
+//! and the timing harness (`bench`, which legitimately reads the wall
+//! clock) get the reduced rule set shown above.
+//!
+//! # Suppression
+//!
+//! A finding is suppressed by a comment on the same line, or on a
+//! comment-only line directly above:
+//!
+//! ```text
+//! let k = (us / interval).ceil() as usize; // simlint: allow(D4) — bounded count
+//! ```
+//!
+//! Multiple ids separate with commas: `simlint: allow(D1, D5)`.
+//!
+//! # Heuristics, stated plainly
+//!
+//! This is a token scanner, not a type checker. D4 in particular flags a
+//! line only when an integer cast (`as u64` and friends) co-occurs with
+//! float evidence on the same line (`f64`/`f32` in any token, or a
+//! `.round()`/`.ceil()`/`.floor()` call). Casts split across lines can
+//! evade it; the runtime `sim-audit` layer is the backstop for what the
+//! scanner cannot see.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One of the five determinism/invariant rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Default-hasher `HashMap`/`HashSet` in sim crates.
+    D1,
+    /// Wall-clock reads outside `bench`.
+    D2,
+    /// Ambient randomness anywhere.
+    D3,
+    /// Lossy float→integer casts on unit quantities outside `units.rs`.
+    D4,
+    /// `.unwrap()` / empty-message `.expect()` in sim crates.
+    D5,
+}
+
+impl Rule {
+    /// Every rule, in id order.
+    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5];
+
+    /// The short id used in reports and suppression comments.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::D5 => "D5",
+        }
+    }
+
+    /// One-line description for `--explain` output.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "std HashMap/HashSet iterate in RandomState order; use BTreeMap/BTreeSet \
+                 or an explicitly seeded hasher in sim crates"
+            }
+            Rule::D2 => {
+                "wall-clock reads (Instant/SystemTime) make sim logic time-dependent; \
+                 only the bench crate may time things"
+            }
+            Rule::D3 => {
+                "ambient randomness (thread_rng/rand::/getrandom/RandomState) breaks \
+                 seeded reproducibility; use dcsim::DetRng"
+            }
+            Rule::D4 => {
+                "float→integer casts on time/byte quantities truncate platform-sensitively; \
+                 route them through the allowlisted units.rs helpers"
+            }
+            Rule::D5 => {
+                ".unwrap()/.expect(\"\") hides the violated invariant; use a typed error \
+                 or .expect(\"why this cannot fail\")"
+            }
+        }
+    }
+
+    fn parse(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "D4" => Some(Rule::D4),
+            "D5" => Some(Rule::D5),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path as displayed (relative to the scan root).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: error[{}]: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rule set a file gets, derived from its workspace path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Full rule set: the deterministic simulation stack.
+    Sim,
+    /// Support code (minijson, workloads, metrics, fluid, simlint): only the
+    /// workspace-wide rules D2 and D3.
+    Support,
+    /// The timing harness: D3 only (it exists to read the wall clock).
+    Bench,
+}
+
+/// Classify a workspace-relative path into a rule scope.
+///
+/// Anything not recognizably inside a support crate — including the root
+/// package's `src/`, `tests/`, and `examples/`, and out-of-tree files such
+/// as the self-test fixtures — gets the full sim rule set.
+pub fn scope_of(path: &str) -> Scope {
+    let norm = path.replace('\\', "/");
+    if let Some(rest) = norm.split("crates/").nth(1) {
+        let krate = rest.split('/').next().unwrap_or("");
+        return match krate {
+            "bench" => Scope::Bench,
+            "minijson" | "workloads" | "metrics" | "fluid" | "simlint" => Scope::Support,
+            _ => Scope::Sim,
+        };
+    }
+    Scope::Sim
+}
+
+/// A source line after lexing: executable code with string-literal contents
+/// replaced by placeholders, plus the concatenated comment text.
+#[derive(Debug, Default, Clone)]
+struct StrippedLine {
+    code: String,
+    comment: String,
+}
+
+/// Strip comments and string/char literal contents, preserving line
+/// structure. Non-empty string literals become `"s"`, empty ones stay
+/// `""` (so D5 can distinguish `.expect("")` from `.expect("msg")`).
+fn strip_source(src: &str) -> Vec<StrippedLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines: Vec<StrippedLine> = vec![StrippedLine::default()];
+    let mut i = 0;
+
+    // Push a char to the current line's code, tracking newlines.
+    fn newline(lines: &mut Vec<StrippedLine>) {
+        lines.push(StrippedLine::default());
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        if c == '\n' {
+            newline(&mut lines);
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && next == Some('/') {
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            let last = lines.len() - 1;
+            lines[last].comment.push_str(&text);
+            i = j;
+            continue;
+        }
+        if c == '/' && next == Some('*') {
+            let mut depth = 1;
+            let mut j = i + 2;
+            let mut seg_start = i;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else if chars[j] == '\n' {
+                    // Attribute the comment text line by line.
+                    let text: String = chars[seg_start..j].iter().collect();
+                    let last = lines.len() - 1;
+                    lines[last].comment.push_str(&text);
+                    newline(&mut lines);
+                    seg_start = j + 1;
+                    j += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            let text: String = chars[seg_start..j.min(chars.len())].iter().collect();
+            let last = lines.len() - 1;
+            lines[last].comment.push_str(&text);
+            i = j;
+            continue;
+        }
+
+        // Raw / byte string literals: r"...", r#"..."#, b"...", br#"..."#.
+        let prev_is_ident = {
+            let last = lines.len() - 1;
+            lines[last]
+                .code
+                .chars()
+                .last()
+                .is_some_and(|p| p.is_alphanumeric() || p == '_')
+        };
+        if (c == 'r' || c == 'b') && !prev_is_ident {
+            let mut j = i + 1;
+            if c == 'b' && chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            let is_raw = c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r'));
+            if chars.get(j) == Some(&'"') && (is_raw || hashes == 0) {
+                // Scan to the closing quote (+ matching hashes for raw).
+                let body_start = j + 1;
+                let mut k = body_start;
+                loop {
+                    match chars.get(k) {
+                        None => break,
+                        Some('\n') => {
+                            newline(&mut lines);
+                            k += 1;
+                        }
+                        Some('\\') if !is_raw => k += 2,
+                        Some('"') => {
+                            let close = (1..=hashes).all(|h| chars.get(k + h) == Some(&'#'));
+                            if close {
+                                k += 1 + hashes;
+                                break;
+                            }
+                            k += 1;
+                        }
+                        Some(_) => k += 1,
+                    }
+                }
+                let nonempty = k > body_start + 1 + hashes;
+                let last = lines.len() - 1;
+                lines[last]
+                    .code
+                    .push_str(if nonempty { "\"s\"" } else { "\"\"" });
+                i = k;
+                continue;
+            }
+            // Not a literal prefix: plain identifier char.
+            let last = lines.len() - 1;
+            lines[last].code.push(c);
+            i += 1;
+            continue;
+        }
+
+        // Ordinary string literal.
+        if c == '"' {
+            let mut k = i + 1;
+            loop {
+                match chars.get(k) {
+                    None => break,
+                    Some('\\') => k += 2,
+                    Some('\n') => {
+                        newline(&mut lines);
+                        k += 1;
+                    }
+                    Some('"') => {
+                        k += 1;
+                        break;
+                    }
+                    Some(_) => k += 1,
+                }
+            }
+            let nonempty = k > i + 2;
+            let last = lines.len() - 1;
+            lines[last]
+                .code
+                .push_str(if nonempty { "\"s\"" } else { "\"\"" });
+            i = k;
+            continue;
+        }
+
+        // Char literal vs lifetime: 'x' or '\n' is a literal; 'a (no
+        // closing quote right after one char) is a lifetime.
+        if c == '\'' {
+            let is_char = matches!(
+                (chars.get(i + 1), chars.get(i + 2)),
+                (Some('\\'), _) | (Some(_), Some('\''))
+            );
+            if is_char {
+                let mut k = i + 1;
+                if chars.get(k) == Some(&'\\') {
+                    k += 2;
+                    // Skip extended escapes like '\u{1F600}'.
+                    while k < chars.len() && chars[k] != '\'' {
+                        k += 1;
+                    }
+                } else {
+                    k += 1;
+                }
+                if chars.get(k) == Some(&'\'') {
+                    k += 1;
+                }
+                let last = lines.len() - 1;
+                lines[last].code.push_str("' '");
+                i = k;
+                continue;
+            }
+        }
+
+        let last = lines.len() - 1;
+        lines[last].code.push(c);
+        i += 1;
+    }
+    lines
+}
+
+/// Whether `code` contains `word` as a standalone identifier.
+fn has_ident(code: &str, word: &str) -> bool {
+    find_ident(code, word).is_some()
+}
+
+/// Byte offset of the first standalone occurrence of identifier `word`.
+fn find_ident(code: &str, word: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || {
+            let b = bytes[end];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + word.len().max(1);
+    }
+    None
+}
+
+/// Whether `code` calls method `name` (an identifier preceded by `.` and
+/// followed, after whitespace, by `(`).
+fn has_method_call(code: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = find_ident(&code[from..], name).map(|p| p + from) {
+        let before_dot = code[..at].trim_end().ends_with('.');
+        let after = code[at + name.len()..].trim_start();
+        if before_dot && after.starts_with('(') {
+            return true;
+        }
+        from = at + name.len();
+    }
+    false
+}
+
+/// Whether `code` contains `ident ::` (a path rooted at `ident`).
+fn has_path_root(code: &str, ident: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = find_ident(&code[from..], ident).map(|p| p + from) {
+        let after = code[at + ident.len()..].trim_start();
+        if after.starts_with("::") {
+            return true;
+        }
+        from = at + ident.len();
+    }
+    false
+}
+
+const INT_CAST_TARGETS: [&str; 10] = [
+    "u64", "u32", "u16", "u8", "usize", "i64", "i32", "i16", "i8", "isize",
+];
+
+/// D4 evidence: does the line cast to an integer type with `as`?
+fn has_int_cast(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = find_ident(&code[from..], "as").map(|p| p + from) {
+        let after = code[at + 2..].trim_start();
+        if INT_CAST_TARGETS.iter().any(|t| {
+            after.starts_with(t)
+                && !after[t.len()..].starts_with(|c: char| c.is_alphanumeric() || c == '_')
+        }) {
+            return true;
+        }
+        from = at + 2;
+    }
+    false
+}
+
+/// D4 evidence: does the line plausibly involve floating-point values?
+fn has_float_evidence(code: &str) -> bool {
+    code.contains("f64")
+        || code.contains("f32")
+        || has_method_call(code, "round")
+        || has_method_call(code, "ceil")
+        || has_method_call(code, "floor")
+        || has_float_literal(code)
+}
+
+/// Whether the line contains a float literal (`8.0`, `1_000.5`, `1e9`).
+/// Hex literals and tuple-field access (`self.0`) are excluded.
+fn has_float_literal(code: &str) -> bool {
+    let b = code.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if !b[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        // A numeric token only counts when it starts one (not `x.0`, `id2`).
+        let prev_ok = i == 0 || {
+            let p = b[i - 1];
+            !(p.is_ascii_alphanumeric() || p == b'_' || p == b'.')
+        };
+        let start = i;
+        let mut j = i;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'.') {
+            j += 1;
+        }
+        let tok = &b[start..j];
+        let hex = tok.len() > 1 && tok[0] == b'0' && (tok[1] == b'x' || tok[1] == b'X');
+        if prev_ok && !hex {
+            for (p, &c) in tok.iter().enumerate() {
+                let next_digit = tok.get(p + 1).is_some_and(|n| n.is_ascii_digit());
+                if c == b'.' && next_digit {
+                    return true; // 8.0 — not 1.max(2)
+                }
+                if (c == b'e' || c == b'E') && p > 0 && tok[p - 1].is_ascii_digit() && next_digit {
+                    return true; // 1e9
+                }
+            }
+        }
+        i = j;
+    }
+    false
+}
+
+/// Parse `simlint: allow(D1, D4)` style suppressions out of comment text.
+fn parse_suppressions(comment: &str) -> Vec<Rule> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("simlint: allow(") {
+        let args = &rest[at + "simlint: allow(".len()..];
+        if let Some(close) = args.find(')') {
+            for part in args[..close].split(',') {
+                if let Some(r) = Rule::parse(part) {
+                    out.push(r);
+                }
+            }
+            rest = &args[close..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Scan one file's source text. `display_path` drives both scope
+/// classification and the paths embedded in findings.
+pub fn scan_source(display_path: &str, src: &str) -> Vec<Finding> {
+    let scope = scope_of(display_path);
+    let file_name = Path::new(display_path)
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let lines = strip_source(src);
+
+    // Suppression map: rule -> suppressed on line k (0-based).
+    let mut suppressed: Vec<Vec<Rule>> = vec![Vec::new(); lines.len() + 1];
+    for (k, line) in lines.iter().enumerate() {
+        let rules = parse_suppressions(&line.comment);
+        if rules.is_empty() {
+            continue;
+        }
+        suppressed[k].extend(rules.iter().copied());
+        if line.code.trim().is_empty() {
+            // Comment-only line: the suppression covers the next line too.
+            suppressed[k + 1].extend(rules.iter().copied());
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut push = |k: usize, rule: Rule, message: String, sup: &[Rule]| {
+        if !sup.contains(&rule) {
+            findings.push(Finding {
+                path: display_path.to_string(),
+                line: k + 1,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for (k, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if code.trim().is_empty() {
+            continue;
+        }
+        let sup = &suppressed[k];
+
+        // D1: default-hasher hash collections in sim code.
+        if scope == Scope::Sim
+            && (has_ident(code, "HashMap") || has_ident(code, "HashSet"))
+            && !has_ident(code, "with_hasher")
+            && !has_ident(code, "BuildHasher")
+        {
+            push(
+                k,
+                Rule::D1,
+                "HashMap/HashSet with the default RandomState hasher iterates in \
+                 nondeterministic order; use BTreeMap/BTreeSet or a seeded hasher"
+                    .into(),
+                sup,
+            );
+        }
+
+        // D2: wall-clock reads outside bench.
+        if scope != Scope::Bench && (has_ident(code, "Instant") || has_ident(code, "SystemTime")) {
+            push(
+                k,
+                Rule::D2,
+                "wall-clock access (Instant/SystemTime) in simulation code; \
+                 simulated time comes from the engine clock, timing belongs in crates/bench"
+                    .into(),
+                sup,
+            );
+        }
+
+        // D3: ambient randomness anywhere.
+        if has_ident(code, "thread_rng")
+            || has_ident(code, "getrandom")
+            || has_ident(code, "RandomState")
+            || has_path_root(code, "rand")
+        {
+            push(
+                k,
+                Rule::D3,
+                "ambient randomness (thread_rng/rand::/getrandom/RandomState); \
+                 all randomness must flow from a seeded dcsim::DetRng"
+                    .into(),
+                sup,
+            );
+        }
+
+        // D4: lossy float→int casts on unit quantities outside units.rs.
+        if scope == Scope::Sim
+            && file_name != "units.rs"
+            && has_int_cast(code)
+            && has_float_evidence(code)
+        {
+            push(
+                k,
+                Rule::D4,
+                "lossy float→integer cast on a unit quantity; use the allowlisted \
+                 units.rs helpers (BitRate::from_bps_f64 / Nanos::from_ns_f64)"
+                    .into(),
+                sup,
+            );
+        }
+
+        // D5: undocumented panics in sim code.
+        if scope == Scope::Sim {
+            if has_method_call(code, "unwrap") {
+                push(
+                    k,
+                    Rule::D5,
+                    ".unwrap() hides the invariant it relies on; use a typed error or \
+                     .expect(\"why this cannot fail\")"
+                        .into(),
+                    sup,
+                );
+            }
+            if code.contains(".expect(\"\")") {
+                push(
+                    k,
+                    Rule::D5,
+                    ".expect(\"\") documents nothing; state the invariant in the message".into(),
+                    sup,
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// Directories never descended into during a tree walk.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
+
+/// Recursively collect the `.rs` files under `root`, sorted for
+/// deterministic report order.
+pub fn collect_rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scan every `.rs` file under `root`. Returns `(findings, files_scanned)`.
+pub fn scan_tree(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+    let files = collect_rust_files(root)?;
+    let n = files.len();
+    let mut findings = Vec::new();
+    for path in files {
+        let display = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)?;
+        findings.extend(scan_source(&display, &src));
+    }
+    Ok((findings, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_in(path: &str, src: &str) -> Vec<Rule> {
+        let mut r: Vec<Rule> = scan_source(path, src).into_iter().map(|f| f.rule).collect();
+        r.sort();
+        r.dedup();
+        r
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = "let x = \"HashMap Instant .unwrap()\"; // HashMap in comment\n";
+        assert!(rules_in("crates/dcsim/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let src = "let x = r#\"thread_rng HashSet\"#;\nlet y = b\"Instant\";\n";
+        assert!(rules_in("crates/dcsim/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multiline_strings_and_block_comments_keep_line_numbers() {
+        let src = "let s = \"line one\nline two\";\n/* block\n comment */\nlet m: HashMap<u32, u32> = HashMap::new();\n";
+        let f = scan_source("crates/netsim/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::D1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // A naive char-literal scanner would swallow from 'a to the next
+        // quote and hide the HashMap behind it.
+        let src = "fn f<'a>(x: &'a u32) {}\nlet m = HashMap::new();\n";
+        let f = scan_source("crates/dcsim/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn d1_seeded_hasher_is_allowed() {
+        let src = "let m: HashMap<u32, u32, S> = HashMap::with_hasher(seeded);\n";
+        assert!(rules_in("crates/dcsim/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d1_only_in_sim_scope() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_in("crates/dcsim/src/a.rs", src), vec![Rule::D1]);
+        assert_eq!(rules_in("tests/foo.rs", src), vec![Rule::D1]);
+        assert!(rules_in("crates/minijson/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d2_everywhere_but_bench() {
+        let src = "let t0 = Instant::now();\n";
+        assert_eq!(rules_in("crates/dcsim/src/engine.rs", src), vec![Rule::D2]);
+        assert_eq!(rules_in("crates/workloads/src/lib.rs", src), vec![Rule::D2]);
+        assert!(rules_in("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d3_everywhere_including_bench() {
+        let src = "let r = rand::thread_rng();\n";
+        let got = rules_in("crates/bench/src/lib.rs", src);
+        assert_eq!(got, vec![Rule::D3]);
+    }
+
+    #[test]
+    fn d3_detrng_is_fine() {
+        let src = "let mut rng = DetRng::new(7); let v = rng.below(10);\n";
+        assert!(rules_in("crates/dcsim/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d4_flags_float_casts_and_allows_units_rs() {
+        let src = "let r = BitRate((x * 8.0 / secs).round() as u64);\n";
+        assert_eq!(rules_in("crates/core/src/cc.rs", src), vec![Rule::D4]);
+        assert!(rules_in("crates/dcsim/src/units.rs", src).is_empty());
+        // Integer-only casts carry no float evidence.
+        let ok = "let slot = (t >> shift) as usize;\n";
+        assert!(rules_in("crates/dcsim/src/wheel.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn d5_unwrap_flagged_expect_with_message_ok() {
+        assert_eq!(
+            rules_in("crates/netsim/src/port.rs", "let v = x.unwrap();\n"),
+            vec![Rule::D5]
+        );
+        assert_eq!(
+            rules_in("crates/netsim/src/port.rs", "let v = x.expect(\"\");\n"),
+            vec![Rule::D5]
+        );
+        assert!(rules_in(
+            "crates/netsim/src/port.rs",
+            "let v = x.expect(\"backlog checked above\");\n"
+        )
+        .is_empty());
+        // unwrap_or and friends are fine.
+        assert!(rules_in(
+            "crates/netsim/src/port.rs",
+            "let v = x.unwrap_or(0); let w = y.unwrap_or_else(f);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn suppression_same_line_and_line_above() {
+        let same = "let k = x.ceil() as usize; // simlint: allow(D4) — bounded count\n";
+        assert!(rules_in("crates/fairsim/src/a.rs", same).is_empty());
+        let above = "// simlint: allow(D4) — bounded count\nlet k = x.ceil() as usize;\n";
+        assert!(rules_in("crates/fairsim/src/a.rs", above).is_empty());
+        // The wrong rule id does not suppress.
+        let wrong = "let k = x.ceil() as usize; // simlint: allow(D1)\n";
+        assert_eq!(rules_in("crates/fairsim/src/a.rs", wrong), vec![Rule::D4]);
+        // A suppression only reaches one line down.
+        let far = "// simlint: allow(D4)\n\nlet k = x.ceil() as usize;\n";
+        assert_eq!(rules_in("crates/fairsim/src/a.rs", far), vec![Rule::D4]);
+    }
+
+    #[test]
+    fn suppression_lists_multiple_rules() {
+        let src = "let m = HashMap::new(); let v = m.get(&k).unwrap(); // simlint: allow(D1, D5)\n";
+        assert!(rules_in("crates/dcsim/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn finding_display_format() {
+        let f = scan_source("crates/dcsim/src/a.rs", "let v = x.unwrap();\n");
+        let line = format!("{}", f[0]);
+        assert!(
+            line.starts_with("crates/dcsim/src/a.rs:1: error[D5]:"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn scope_classification() {
+        assert_eq!(scope_of("crates/dcsim/src/engine.rs"), Scope::Sim);
+        assert_eq!(scope_of("crates/cc-hpcc/src/lib.rs"), Scope::Sim);
+        assert_eq!(scope_of("crates/bench/src/lib.rs"), Scope::Bench);
+        assert_eq!(scope_of("crates/minijson/src/lib.rs"), Scope::Support);
+        assert_eq!(scope_of("crates/simlint/src/lib.rs"), Scope::Support);
+        assert_eq!(scope_of("tests/determinism.rs"), Scope::Sim);
+        assert_eq!(scope_of("examples/quickstart.rs"), Scope::Sim);
+    }
+}

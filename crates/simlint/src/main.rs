@@ -1,0 +1,74 @@
+//! `cargo run -p simlint [-- <root>]` — walk a source tree and report
+//! determinism/invariant rule violations. Exits nonzero when any survive.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{scan_tree, Rule};
+
+fn usage() -> ! {
+    eprintln!("usage: simlint [--explain] [ROOT]");
+    eprintln!("  ROOT       directory to scan (default: the workspace root / cwd)");
+    eprintln!("  --explain  print the rule table and exit");
+    std::process::exit(2);
+}
+
+/// Default scan root: the workspace root when invoked via `cargo run -p
+/// simlint` (two levels up from this crate), else the cwd.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|crates| crates.parent())
+        .filter(|ws| ws.join("Cargo.toml").is_file())
+        .map(|ws| ws.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--explain" => {
+                for r in Rule::ALL {
+                    println!("{}: {}", r.id(), r.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => usage(),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let (findings, scanned) = match scan_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!(
+            "simlint: clean — {scanned} files scanned under {}",
+            root.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "simlint: {} finding(s) in {scanned} files scanned under {} \
+             (suppress with `// simlint: allow(Dn) — reason`)",
+            findings.len(),
+            root.display()
+        );
+        ExitCode::FAILURE
+    }
+}

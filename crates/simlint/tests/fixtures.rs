@@ -1,0 +1,104 @@
+//! Self-test: the known-bad fixture files must each trigger their rule
+//! (with correct file:line attribution), suppressions must silence, and
+//! clean code must stay clean. These fixtures are also what CI's
+//! `simlint` job can be pointed at to prove the binary exits nonzero.
+
+use std::path::Path;
+
+use simlint::{scan_source, scan_tree, Rule};
+
+fn fixture(name: &str) -> (String, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture file exists");
+    (name.to_string(), src)
+}
+
+fn rules_of(name: &str) -> Vec<(Rule, usize)> {
+    let (display, src) = fixture(name);
+    scan_source(&display, &src)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn d1_fixture_fires_on_each_hash_site() {
+    let got = rules_of("bad_d1_hashmap.rs");
+    assert_eq!(got.len(), 5, "{got:?}"); // 2 uses + fn sig + 2 constructors
+    assert!(got.iter().all(|(r, _)| *r == Rule::D1));
+    assert!(got.iter().any(|(_, l)| *l == 2), "use line attributed");
+}
+
+#[test]
+fn d2_fixture_fires_on_both_clocks() {
+    let got = rules_of("bad_d2_wallclock.rs");
+    assert_eq!(got.len(), 3, "{got:?}"); // use + Instant::now + SystemTime::now
+    assert!(got.iter().all(|(r, _)| *r == Rule::D2));
+}
+
+#[test]
+fn d3_fixture_fires_on_rand_and_randomstate() {
+    let got = rules_of("bad_d3_randomness.rs");
+    assert!(got.len() >= 2, "{got:?}");
+    assert!(got.iter().all(|(r, _)| *r == Rule::D3));
+}
+
+#[test]
+fn d4_fixture_fires_on_both_casts() {
+    let got = rules_of("bad_d4_lossy_cast.rs");
+    assert_eq!(got.len(), 2, "{got:?}");
+    assert!(got.iter().all(|(r, _)| *r == Rule::D4));
+    assert_eq!(got[0].1, 3);
+    assert_eq!(got[1].1, 7);
+}
+
+#[test]
+fn d5_fixture_fires_on_unwrap_and_empty_expect() {
+    let got = rules_of("bad_d5_unwrap.rs");
+    assert_eq!(got.len(), 2, "{got:?}");
+    assert!(got.iter().all(|(r, _)| *r == Rule::D5));
+}
+
+#[test]
+fn suppressed_fixture_is_silent() {
+    assert!(rules_of("suppressed_ok.rs").is_empty());
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    assert!(rules_of("clean_ok.rs").is_empty());
+}
+
+#[test]
+fn scanning_the_fixture_tree_reports_every_bad_file() {
+    // Pointing the walker directly at fixtures/ (as CI does to prove the
+    // nonzero exit path) must reproduce all of the above findings.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let (findings, scanned) = scan_tree(&root).expect("fixtures dir scans");
+    assert_eq!(scanned, 7, "all fixture files scanned");
+    let bad_files: std::collections::BTreeSet<&str> =
+        findings.iter().map(|f| f.path.as_str()).collect();
+    assert_eq!(
+        bad_files.into_iter().collect::<Vec<_>>(),
+        vec![
+            "bad_d1_hashmap.rs",
+            "bad_d2_wallclock.rs",
+            "bad_d3_randomness.rs",
+            "bad_d4_lossy_cast.rs",
+            "bad_d5_unwrap.rs",
+        ]
+    );
+}
+
+#[test]
+fn simlint_scans_its_own_source_cleanly() {
+    // The scanner's own crate (pattern strings, fixture literals in tests)
+    // must not self-flag: rule tokens live inside string literals, which
+    // the lexer strips before matching.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (findings, scanned) = scan_tree(root).expect("crate scans");
+    assert!(scanned >= 3, "lib, main, tests scanned");
+    assert!(findings.is_empty(), "{findings:?}");
+}

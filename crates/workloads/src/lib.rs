@@ -13,6 +13,7 @@
 //!   process that drives the fat-tree simulations at a target load
 //!   fraction (paper: 50% for 50 ms).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrivals;

@@ -15,6 +15,8 @@
 //!
 //! Start with `examples/quickstart.rs`.
 
+#![deny(unsafe_code)]
+
 pub use cc_dcqcn;
 pub use cc_hpcc;
 pub use cc_swift;

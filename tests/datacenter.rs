@@ -54,7 +54,13 @@ fn mixed_workload_pipeline_works() {
     assert!(res.completed > 0);
     // WebSearch has real long flows: even a 400 us arrival window should
     // sample well past the small-flow mass.
-    let max_size = res.table.points.iter().map(|p| p.size).max().unwrap();
+    let max_size = res
+        .table
+        .points
+        .iter()
+        .map(|p| p.size)
+        .max()
+        .expect("FCT table is non-empty");
     assert!(max_size > 300_000, "largest bin only {max_size}");
 }
 

@@ -52,7 +52,10 @@ fn parallel_runs_match_serial_runs() {
         let handles: Vec<_> = (0..4)
             .map(|_| s.spawn(|| fingerprint(ProtocolKind::Swift, Variant::VaiSf, 9)))
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fingerprint thread panicked"))
+            .collect()
     });
     for p in parallel {
         assert_eq!(p, serial);

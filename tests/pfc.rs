@@ -22,7 +22,9 @@ fn incast_peak_queue_with_pfc(cc: CcSpec) -> u64 {
         },
         MonitorConfig::default(),
     );
-    let (n, p) = net.port_towards(switch, hosts[16]).unwrap();
+    let (n, p) = net
+        .port_towards(switch, hosts[16])
+        .expect("switch has a port toward every attached host");
     for (i, f) in staggered_incast(&IncastConfig::paper_16_1())
         .iter()
         .enumerate()
@@ -93,7 +95,9 @@ fn pfc_bounds_a_misbehaving_sender_without_loss() {
         },
         MonitorConfig::default(),
     );
-    let (n, p) = net.port_towards(switch, hosts[3]).unwrap();
+    let (n, p) = net
+        .port_towards(switch, hosts[3])
+        .expect("switch has a port toward every attached host");
     for i in 0..3 {
         net.add_flow(
             FlowSpec {

@@ -122,8 +122,16 @@ fn flows_share_within_protocol_family_reasonably() {
     // (simultaneously started) flows should be close for every protocol.
     for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift, ProtocolKind::Dcqcn] {
         let res = scenario(kind, Variant::Default).run();
-        let f0 = res.fcts.iter().find(|r| r.flow.0 == 0).unwrap();
-        let f1 = res.fcts.iter().find(|r| r.flow.0 == 1).unwrap();
+        let f0 = res
+            .fcts
+            .iter()
+            .find(|r| r.flow.0 == 0)
+            .expect("flow 0 finished");
+        let f1 = res
+            .fcts
+            .iter()
+            .find(|r| r.flow.0 == 1)
+            .expect("flow 1 finished");
         let a = f0.fct().as_secs_f64();
         let b = f1.fct().as_secs_f64();
         let ratio = a.max(b) / a.min(b);

@@ -1,0 +1,26 @@
+//! Tier-1 gate: the workspace must stay clean under its own static
+//! analysis pass. Equivalent to `cargo run -p simlint` exiting 0, but
+//! enforced by `cargo test` so a violating change cannot land even when
+//! the CI lint job is skipped.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_simlint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (findings, scanned) = simlint::scan_tree(root).expect("workspace tree scans");
+    assert!(
+        scanned > 50,
+        "suspiciously few files scanned ({scanned}) — walker broken?"
+    );
+    assert!(
+        findings.is_empty(),
+        "simlint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
