@@ -743,7 +743,7 @@ mod tests {
                     assert!(s.cwnd().is_finite(), "case {case}");
                     assert!(s.cwnd() >= 0.001 - 1e-12, "case {case}");
                     assert!(s.cwnd() <= s.cfg.max_cwnd_pkts() + 1e-9, "case {case}");
-                    assert!(s.limits().pacing.0 > 0, "case {case}");
+                    assert!(s.limits().pacing.as_u64() > 0, "case {case}");
                 }
             }
         }

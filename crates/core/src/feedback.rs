@@ -50,10 +50,10 @@ impl IntStack {
     pub const fn new() -> Self {
         IntStack {
             hops: [IntHop {
-                qlen: Bytes(0),
+                qlen: Bytes::ZERO,
                 tx_bytes: 0,
-                ts: Nanos(0),
-                rate: BitRate(0),
+                ts: Nanos::ZERO,
+                rate: BitRate::ZERO,
             }; MAX_INT_HOPS],
             len: 0,
         }
@@ -97,7 +97,11 @@ impl IntStack {
     /// Congestion" for HPCC-style VAI token generation.
     #[inline]
     pub fn max_qlen(&self) -> Bytes {
-        self.hops().iter().map(|h| h.qlen).max().unwrap_or(Bytes(0))
+        self.hops()
+            .iter()
+            .map(|h| h.qlen)
+            .max()
+            .unwrap_or(Bytes::ZERO)
     }
 }
 

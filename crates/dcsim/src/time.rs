@@ -13,9 +13,13 @@ use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 
 /// A point in simulation time (or a duration), in nanoseconds.
 ///
-/// `Nanos` is used for both instants and durations; the arithmetic is
-/// saturating-free and will panic on overflow in debug builds, which in a
-/// simulation clock is always a logic bug worth catching loudly.
+/// `Nanos` is used for both instants and durations. Additive and scaling
+/// arithmetic **saturates** at `u64::MAX`: the far-future sentinel
+/// [`Nanos::MAX`] flows through deadline math (`MAX + rtt` must stay MAX,
+/// not wrap to the past and fire an event at time zero). Subtraction still
+/// panics on underflow in debug builds — a negative duration is always a
+/// logic bug worth catching loudly; use [`Nanos::saturating_sub`] where
+/// clamping at zero is the intended semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Nanos(pub u64);
 
@@ -32,22 +36,32 @@ impl Nanos {
     /// One second.
     pub const SEC: Nanos = Nanos(1_000_000_000);
 
-    /// Construct from whole microseconds.
+    /// Construct from a raw nanosecond count.
+    ///
+    /// The named counterpart of the tuple constructor; code outside this
+    /// module should prefer it (simlint rule U3) so grep can find every
+    /// point where an untyped integer becomes a time.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Construct from whole microseconds (saturating).
     #[inline]
     pub const fn from_micros(us: u64) -> Self {
-        Nanos(us * 1_000)
+        Nanos(us.saturating_mul(1_000))
     }
 
-    /// Construct from whole milliseconds.
+    /// Construct from whole milliseconds (saturating).
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
-        Nanos(ms * 1_000_000)
+        Nanos(ms.saturating_mul(1_000_000))
     }
 
-    /// Construct from whole seconds.
+    /// Construct from whole seconds (saturating).
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        Nanos(s * 1_000_000_000)
+        Nanos(s.saturating_mul(1_000_000_000))
     }
 
     /// The raw nanosecond count.
@@ -105,16 +119,18 @@ impl Nanos {
 
 impl Add for Nanos {
     type Output = Nanos;
+    /// Saturating: `Nanos::MAX + d == Nanos::MAX`, so "never" deadlines
+    /// survive offset arithmetic instead of wrapping into the past.
     #[inline]
     fn add(self, rhs: Nanos) -> Nanos {
-        Nanos(self.0 + rhs.0)
+        Nanos(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for Nanos {
     #[inline]
     fn add_assign(&mut self, rhs: Nanos) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -135,9 +151,10 @@ impl SubAssign for Nanos {
 
 impl Mul<u64> for Nanos {
     type Output = Nanos;
+    /// Saturating, for the same reason as `Add`.
     #[inline]
     fn mul(self, rhs: u64) -> Nanos {
-        Nanos(self.0 * rhs)
+        Nanos(self.0.saturating_mul(rhs))
     }
 }
 
@@ -199,6 +216,16 @@ mod tests {
         assert_eq!(a * 3, Nanos(1500));
         assert_eq!(a / 5, Nanos(100));
         assert_eq!((a + b) % 300, Nanos(100));
+    }
+
+    #[test]
+    fn add_and_mul_saturate_at_max() {
+        assert_eq!(Nanos::MAX + Nanos(1), Nanos::MAX);
+        let mut t = Nanos::MAX;
+        t += Nanos::SEC;
+        assert_eq!(t, Nanos::MAX);
+        assert_eq!(Nanos::MAX * 2, Nanos::MAX);
+        assert_eq!(Nanos::from_secs(u64::MAX), Nanos::MAX);
     }
 
     #[test]

@@ -20,17 +20,28 @@ impl Bytes {
     /// Zero bytes.
     pub const ZERO: Bytes = Bytes(0);
 
+    /// Construct from a raw byte count.
+    ///
+    /// The named counterpart of the tuple constructor; code outside this
+    /// module should prefer it (simlint rule U3) so grep can find every
+    /// point where an untyped integer becomes a byte count.
+    #[inline]
+    pub const fn new(b: u64) -> Self {
+        Bytes(b)
+    }
+
     /// Construct from kilobytes (10^3 bytes, the unit the paper uses for
-    /// queue depths: "a queue of about 100KB").
+    /// queue depths: "a queue of about 100KB"). Saturating.
     #[inline]
     pub const fn from_kb(kb: u64) -> Self {
-        Bytes(kb * 1_000)
+        Bytes(kb.saturating_mul(1_000))
     }
 
     /// Construct from megabytes (10^6 bytes; flow sizes like "1MB flows").
+    /// Saturating.
     #[inline]
     pub const fn from_mb(mb: u64) -> Self {
-        Bytes(mb * 1_000_000)
+        Bytes(mb.saturating_mul(1_000_000))
     }
 
     /// Raw byte count.
@@ -66,16 +77,18 @@ impl Bytes {
 
 impl Add for Bytes {
     type Output = Bytes;
+    /// Saturating: byte counters accumulate over a whole run (delivered
+    /// bytes, queue occupancy integrals) and must clamp, not wrap.
     #[inline]
     fn add(self, rhs: Bytes) -> Bytes {
-        Bytes(self.0 + rhs.0)
+        Bytes(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for Bytes {
     #[inline]
     fn add_assign(&mut self, rhs: Bytes) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -119,10 +132,18 @@ impl Nanos {
     /// The sanctioned f64→u64 crossing for times, mirroring
     /// [`BitRate::from_bps_f64`] — but *truncating* rather than rounding,
     /// matching the discretization the congestion-control delay math has
-    /// always used (so golden determinism traces are unchanged). Negative
-    /// values and NaN map to zero; overflow saturates.
+    /// always used (so golden determinism traces are unchanged).
+    ///
+    /// A NaN or negative input is a bug in the caller's float math, so
+    /// debug builds assert on it. Release builds clamp: NaN and negative
+    /// values map to zero, `+inf`/overflow saturates at `u64::MAX`
+    /// (Rust's float-to-int `as` semantics, which are platform-independent).
     #[inline]
     pub fn from_ns_f64(ns: f64) -> Nanos {
+        debug_assert!(
+            ns.is_finite() && ns >= 0.0,
+            "Nanos::from_ns_f64 called with {ns}: durations must be finite and non-negative"
+        );
         Nanos(ns as u64)
     }
 }
@@ -139,26 +160,45 @@ impl BitRate {
     /// Zero rate (an idle or fully throttled sender).
     pub const ZERO: BitRate = BitRate(0);
 
-    /// Construct from gigabits per second.
+    /// Construct from raw bits per second.
+    ///
+    /// The named counterpart of the tuple constructor; code outside this
+    /// module should prefer it (simlint rule U3) so grep can find every
+    /// point where an untyped integer becomes a rate.
+    #[inline]
+    pub const fn from_bps(bps: u64) -> Self {
+        BitRate(bps)
+    }
+
+    /// Construct from gigabits per second. Saturating.
     #[inline]
     pub const fn from_gbps(g: u64) -> Self {
-        BitRate(g * 1_000_000_000)
+        BitRate(g.saturating_mul(1_000_000_000))
     }
 
     /// Construct from megabits per second (the paper's AI unit: 50 Mbps).
+    /// Saturating.
     #[inline]
     pub const fn from_mbps(m: u64) -> Self {
-        BitRate(m * 1_000_000)
+        BitRate(m.saturating_mul(1_000_000))
     }
 
     /// Quantize a fractional rate (bps) onto the integer rate grid.
     ///
     /// This is the one sanctioned f64→u64 crossing for rates: protocol
     /// crates keep mid-update rates in `f64` and materialize them here.
-    /// Rounds to nearest; saturates at the `u64` range; NaN maps to zero
+    /// Rounds to nearest.
+    ///
+    /// A NaN or negative input is a bug in the caller's rate math, so
+    /// debug builds assert on it. Release builds clamp: NaN and negative
+    /// values map to zero, `+inf`/overflow saturates at `u64::MAX`
     /// (Rust's float-to-int `as` semantics, which are platform-independent).
     #[inline]
     pub fn from_bps_f64(bps: f64) -> Self {
+        debug_assert!(
+            bps.is_finite() && bps >= 0.0,
+            "BitRate::from_bps_f64 called with {bps}: rates must be finite and non-negative"
+        );
         BitRate(bps.round() as u64)
     }
 
@@ -190,6 +230,7 @@ impl BitRate {
         assert!(self.0 > 0, "serialization delay at zero rate is undefined");
         // delay_ns = bytes * 8 * 1e9 / rate_bps, computed in u128 to avoid
         // overflow (bytes can be a whole flow for ideal-FCT math).
+        // simlint: allow(O1) — widened to u128; max is 2^64 * 8e9 < 2^128
         let num = (bytes.0 as u128) * 8 * 1_000_000_000;
         let den = self.0 as u128;
         Nanos(num.div_ceil(den) as u64)
@@ -198,7 +239,9 @@ impl BitRate {
     /// The number of bytes this rate delivers in `dur` (rounded down).
     #[inline]
     pub fn bytes_in(self, dur: Nanos) -> Bytes {
+        // simlint: allow(O1) — widened to u128; product of two u64 fits
         let num = (self.0 as u128) * (dur.0 as u128);
+        // simlint: allow(O1) — constant divisor product 8e9 fits in u128
         Bytes((num / (8 * 1_000_000_000)) as u64)
     }
 
@@ -279,6 +322,72 @@ mod tests {
         // 100 Gbps and a 4us RTT give the ~50KB minimum BDP quoted in VI-A.
         let bdp = BitRate::from_gbps(100).bdp(Nanos::from_micros(4));
         assert_eq!(bdp, Bytes(50_000));
+    }
+
+    #[test]
+    fn f64_crossings_quantize() {
+        assert_eq!(Nanos::from_ns_f64(2.9), Nanos(2)); // truncates
+        assert_eq!(Nanos::from_ns_f64(0.0), Nanos::ZERO);
+        assert_eq!(BitRate::from_bps_f64(2.5), BitRate(3)); // rounds
+        assert_eq!(BitRate::from_bps_f64(1e11), BitRate::from_gbps(100));
+    }
+
+    #[test]
+    fn saturating_unit_arithmetic() {
+        assert_eq!(Bytes(u64::MAX) + Bytes(1), Bytes(u64::MAX));
+        let mut b = Bytes(u64::MAX);
+        b += Bytes(1);
+        assert_eq!(b, Bytes(u64::MAX));
+        assert_eq!(Bytes::from_mb(u64::MAX), Bytes(u64::MAX));
+        assert_eq!(BitRate::from_gbps(u64::MAX), BitRate(u64::MAX));
+    }
+
+    #[cfg(debug_assertions)]
+    mod f64_crossing_debug_guards {
+        use super::*;
+
+        #[test]
+        #[should_panic(expected = "finite and non-negative")]
+        fn from_ns_f64_nan_asserts() {
+            let _ = Nanos::from_ns_f64(f64::NAN);
+        }
+
+        #[test]
+        #[should_panic(expected = "finite and non-negative")]
+        fn from_ns_f64_negative_asserts() {
+            let _ = Nanos::from_ns_f64(-1.0);
+        }
+
+        #[test]
+        #[should_panic(expected = "finite and non-negative")]
+        fn from_bps_f64_nan_asserts() {
+            let _ = BitRate::from_bps_f64(f64::NAN);
+        }
+
+        #[test]
+        #[should_panic(expected = "finite and non-negative")]
+        fn from_bps_f64_infinite_asserts() {
+            let _ = BitRate::from_bps_f64(f64::INFINITY);
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    mod f64_crossing_release_clamps {
+        use super::*;
+
+        #[test]
+        fn from_ns_f64_clamps_bad_inputs() {
+            assert_eq!(Nanos::from_ns_f64(f64::NAN), Nanos::ZERO);
+            assert_eq!(Nanos::from_ns_f64(-5.0), Nanos::ZERO);
+            assert_eq!(Nanos::from_ns_f64(f64::INFINITY), Nanos::MAX);
+        }
+
+        #[test]
+        fn from_bps_f64_clamps_bad_inputs() {
+            assert_eq!(BitRate::from_bps_f64(f64::NAN), BitRate::ZERO);
+            assert_eq!(BitRate::from_bps_f64(-5.0), BitRate::ZERO);
+            assert_eq!(BitRate::from_bps_f64(f64::INFINITY), BitRate(u64::MAX));
+        }
     }
 
     #[test]

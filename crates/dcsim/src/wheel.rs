@@ -184,18 +184,18 @@ impl<E> TimingWheel<E> {
         // The engine contract forbids scheduling into the past; in release
         // builds a violating push is clamped to fire as soon as possible.
         debug_assert!(
-            e.at.0 >= self.cursor,
+            e.at.as_u64() >= self.cursor,
             "push at {:?} is before the wheel cursor {}",
             e.at,
             self.cursor
         );
         crate::audit_assert!(
-            e.at.0 >= self.cursor,
+            e.at.as_u64() >= self.cursor,
             "clock monotonicity: wheel push at {:?} behind cursor {}",
             e.at,
             self.cursor
         );
-        let t = e.at.0.max(self.cursor);
+        let t = e.at.as_u64().max(self.cursor);
         let delta = t - self.cursor;
         if delta >= SPAN {
             self.spill.push(e);
@@ -310,7 +310,7 @@ impl<E> TimingWheel<E> {
                         // Invariant 1: a level-0 slot holds one timestamp.
                         for e in &self.active {
                             crate::audit_assert_eq!(
-                                e.at.0,
+                                e.at.as_u64(),
                                 t0,
                                 "level-0 slot mixed timestamps at commit"
                             );

@@ -233,7 +233,7 @@ impl CcSpec {
                     },
                     // Timely has no 1 Gbps / probabilistic baselines in
                     // the paper; they map to stock.
-                    _ => base,
+                    Variant::Default | Variant::HighAi | Variant::Probabilistic => base,
                 };
                 Box::new(Timely::new(cfg))
             }

@@ -54,7 +54,7 @@ pub struct Flow {
 impl Flow {
     /// Create a fresh flow.
     pub fn new(id: FlowId, spec: FlowSpec, cc: Box<dyn CongestionControl>) -> Self {
-        assert!(spec.size.0 > 0, "zero-length flows are not allowed");
+        assert!(spec.size.as_u64() > 0, "zero-length flows are not allowed");
         assert!(
             spec.src != spec.dst,
             "flow source and destination must differ"
@@ -86,7 +86,7 @@ impl Flow {
     /// Payload bytes not yet handed to the NIC.
     #[inline]
     pub fn remaining(&self) -> u64 {
-        self.spec.size.0 - self.sent
+        self.spec.size.as_u64() - self.sent
     }
 
     /// Whether the flow has started by `now` and is not yet finished.

@@ -335,7 +335,7 @@ impl Network {
             path.push((p.rate, p.prop));
             cur = p.peer.0;
         }
-        let size = f.spec.size.0;
+        let size = f.spec.size.as_u64();
         let mtu = self.cfg.mtu as u64;
         let n_pkts = size.div_ceil(mtu);
         let first_pkt = size.min(mtu);
@@ -671,7 +671,7 @@ impl Network {
                         hops: pkt.hops,
                     };
                     f.cc.on_ack(&fb);
-                    if f.acked >= f.spec.size.0 && f.finished.is_none() {
+                    if f.acked >= f.spec.size.as_u64() && f.finished.is_none() {
                         f.finished = Some(now);
                         (
                             true,
@@ -687,7 +687,7 @@ impl Network {
                             false,
                             FctRecord {
                                 flow: f.id,
-                                size: Bytes(0),
+                                size: Bytes::ZERO,
                                 start: Nanos::ZERO,
                                 finish: Nanos::ZERO,
                             },

@@ -46,7 +46,8 @@ impl RedConfig {
         } else if q >= self.kmax {
             1.0
         } else {
-            self.pmax * (q.0 - self.kmin.0) as f64 / (self.kmax.0 - self.kmin.0) as f64
+            self.pmax * (q.as_u64() - self.kmin.as_u64()) as f64
+                / (self.kmax.as_u64() - self.kmin.as_u64()) as f64
         }
     }
 }
@@ -99,7 +100,7 @@ pub struct Port {
 impl Port {
     /// A new idle port.
     pub fn new(peer: (NodeId, PortNo), rate: BitRate, prop: Nanos) -> Self {
-        assert!(rate.0 > 0, "links must have a positive rate");
+        assert!(rate.as_u64() > 0, "links must have a positive rate");
         Port {
             peer,
             rate,
@@ -265,8 +266,8 @@ impl Port {
     /// long-run throughput matches the line rate to within one ps per
     /// packet even when `bytes * 8e9 / rate` is not a whole nanosecond.
     fn ser_delay(&mut self, bytes: u32) -> Nanos {
-        let ps = (bytes as u128) * 8_000_000_000_000u128 / (self.rate.0 as u128);
-        let total = ps as u64 + self.residue_ps;
+        let ps = (bytes as u128) * 8_000_000_000_000u128 / (self.rate.as_u64() as u128);
+        let total = (ps as u64).saturating_add(self.residue_ps);
         self.residue_ps = total % 1_000;
         Nanos(total / 1_000)
     }

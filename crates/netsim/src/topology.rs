@@ -2,7 +2,7 @@
 //! microbenchmarks, a dumbbell for tests, and the 3-layer fat-tree of the
 //! datacenter simulations (paper Figure 7).
 
-use dcsim::{BitRate, Nanos};
+use dcsim::{BitRate, Bytes, Nanos};
 
 use crate::ids::NodeId;
 use crate::network::NetBuilder;
@@ -40,7 +40,7 @@ impl Topology {
         for &h in &hosts {
             b.link(h, sw, host_rate, prop);
         }
-        let mtu_ser = host_rate.serialization_delay(dcsim::Bytes(1000));
+        let mtu_ser = host_rate.serialization_delay(Bytes::new(1000));
         // Host -> switch -> host, and the ACK back (ACK serialization is
         // negligible; we fold it into the data-packet estimate, matching
         // how the paper quotes a 5 us base RTT for this topology).
@@ -80,7 +80,7 @@ impl Topology {
         for &h in &right {
             b.link(h, s1, host_rate, prop);
         }
-        let mtu_ser = host_rate.serialization_delay(dcsim::Bytes(1000));
+        let mtu_ser = host_rate.serialization_delay(Bytes::new(1000));
         let base_rtt = (prop + mtu_ser) * 6;
         let mut hosts = left;
         hosts.extend(right);
@@ -126,7 +126,7 @@ impl Topology {
                 hosts.push(h);
             }
         }
-        let mtu = dcsim::Bytes(1000);
+        let mtu = Bytes::new(1000);
         let host_ser = host_rate.serialization_delay(mtu);
         let fabric_ser = fabric_rate.serialization_delay(mtu);
         // Worst case: host -> leaf -> spine -> leaf -> host.
@@ -257,7 +257,7 @@ impl FatTreeConfig {
         // Base RTT: worst case host->ToR->Agg->Spine->Agg->ToR->host =
         // 6 links each way. Store-and-forward adds one MTU serialization
         // per link.
-        let mtu = dcsim::Bytes(1000);
+        let mtu = Bytes::new(1000);
         let host_ser = self.host_rate.serialization_delay(mtu);
         let fabric_ser = self.fabric_rate.serialization_delay(mtu);
         let one_way = (self.prop + host_ser) * 2 + (self.prop + fabric_ser) * 4;

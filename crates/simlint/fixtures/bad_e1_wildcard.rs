@@ -1,0 +1,24 @@
+//! Known-bad fixture for E1: a wildcard arm in a match over a workspace
+//! enum, which would silently swallow any variant added later.
+
+pub enum Mode {
+    Stock,
+    Vai,
+    VaiSf,
+}
+
+pub fn weight(m: Mode) -> u64 {
+    match m {
+        Mode::VaiSf => 2,
+        _ => 1, // E1: enumerate Stock and Vai explicitly
+    }
+}
+
+pub fn guarded_is_fine(m: Mode, hot: bool) -> u64 {
+    match m {
+        Mode::VaiSf => 2,
+        Mode::Vai => 1,
+        _ if hot => 3, // guarded wildcard does not fire
+        Mode::Stock => 0,
+    }
+}

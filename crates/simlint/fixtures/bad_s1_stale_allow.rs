@@ -1,0 +1,8 @@
+//! Known-bad fixture for S1: a suppression comment whose rule no longer
+//! fires on the lines it covers. The directive itself is the finding,
+//! and the autofix deletes the whole comment line.
+
+pub fn quiet() -> u64 {
+    // simlint: allow(D5) — legacy justification that no longer applies
+    40 + 2
+}

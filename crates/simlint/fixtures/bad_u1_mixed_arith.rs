@@ -1,0 +1,20 @@
+//! Known-bad fixture for U1: arithmetic that mixes units, or mixes a
+//! unit with a raw integer, in every direction the rule distinguishes.
+
+use crate::units::{Bytes, Nanos};
+
+pub fn unit_plus_other_unit(t: Nanos, b: Bytes) -> Nanos {
+    t + b // U1: Nanos + Bytes
+}
+
+pub fn unit_plus_raw(t: Nanos) -> Nanos {
+    t + 5 // U1: no Add<u64> impl for the fixture Nanos
+}
+
+pub fn raw_plus_unit(t: Nanos) -> Nanos {
+    5 + t // U1: unit on the wrong side
+}
+
+pub fn escaped_cross_unit(t: Nanos, b: Bytes) -> u64 {
+    t.as_u64() + b.as_u64() // U1: Nanos-escaped + Bytes-escaped
+}

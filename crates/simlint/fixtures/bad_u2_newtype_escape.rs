@@ -1,0 +1,13 @@
+//! Known-bad fixture for U2: `.0` field access that silently escapes a
+//! unit newtype into an untyped integer. Both sites are fixable because
+//! the fixture units define `as_u64`.
+
+use crate::units::{BitRate, Nanos};
+
+pub fn leak_time(t: Nanos) -> u64 {
+    t.0 // U2: use `.as_u64()`
+}
+
+pub fn leak_rate(r: BitRate) -> bool {
+    r.0 > 0 // U2
+}

@@ -1,0 +1,16 @@
+//! Known-bad fixture for U3: constructing unit newtypes from raw
+//! integer literals outside the unit-definition file.
+
+use crate::units::{BitRate, Bytes, Nanos};
+
+pub fn zero_time() -> Nanos {
+    Nanos(0) // U3: write `Nanos::ZERO`
+}
+
+pub fn mtu() -> Bytes {
+    Bytes(1000) // U3: write `Bytes::new(1000)`
+}
+
+pub fn line_rate() -> BitRate {
+    BitRate(100_000_000_000) // U3: write `BitRate::from_bps(..)`
+}

@@ -1,0 +1,19 @@
+//! Known-bad fixture for O1: unchecked `+` / `*` / `+=` on u64
+//! time/byte quantities inside a hot-path crate (this file lives under
+//! a `dcsim/` path segment, which is what puts it in O1's scope).
+
+use crate::units::Nanos;
+
+pub fn deadline(now: Nanos, step: Nanos) -> u64 {
+    now.as_u64() + step.as_u64() // O1: saturating_add
+}
+
+pub fn scaled(t: Nanos, n: u64) -> u64 {
+    t.as_u64() * n // O1: saturating_mul
+}
+
+pub fn accumulate(t: Nanos) -> u64 {
+    let mut total = 0u64;
+    total += t.as_u64(); // O1: compound assign
+    total
+}

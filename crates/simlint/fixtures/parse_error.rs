@@ -1,0 +1,6 @@
+//! Fixture with an unbalanced delimiter: the v2 parser must report a
+//! parse failure (CLI exit code 2) while the v1 line rules still run.
+
+pub fn broken() {
+    let x = (1, 2;
+}

@@ -1,0 +1,209 @@
+//! Machine-readable finding emitters: plain JSON and SARIF 2.1.0.
+//!
+//! Both are hand-written string builders (the crate is dependency-free
+//! by design). The SARIF output is the minimal valid subset GitHub code
+//! scanning ingests: one run, one rule descriptor per distinct rule,
+//! one result per finding with a physical location.
+
+use crate::parse::ParseFailure;
+use crate::{Finding, Rule};
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON report:
+/// `{ "findings": [...], "parse_errors": [...], "files_scanned": N }`.
+pub fn to_json(findings: &[Finding], failures: &[ParseFailure], scanned: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"fixable\": {}}}",
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            f.rule.id(),
+            json_escape(&f.message),
+            f.fix.is_some(),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"parse_errors\": [");
+    for (i, e) in failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(&e.path),
+            e.line,
+            json_escape(&e.message),
+        ));
+    }
+    if !failures.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"files_scanned\": {scanned}\n}}\n"));
+    out
+}
+
+/// Render findings as SARIF 2.1.0 for GitHub code scanning.
+pub fn to_sarif(findings: &[Finding], failures: &[ParseFailure]) -> String {
+    // Rule descriptors, one per distinct rule seen (plus the parse error
+    // pseudo-rule when any file failed to parse).
+    let mut rules: Vec<Rule> = findings.iter().map(|f| f.rule).collect();
+    rules.sort();
+    rules.dedup();
+
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"simlint\",\n          \
+         \"informationUri\": \"https://github.com/\",\n          \"rules\": [",
+    );
+    let mut first = true;
+    for r in &rules {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            r.id(),
+            json_escape(r.summary()),
+        ));
+    }
+    if !failures.is_empty() {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(
+            "\n            {\"id\": \"parse\", \"shortDescription\": \
+             {\"text\": \"simlint could not parse this file\"}}",
+        );
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+
+    let mut first = true;
+    let mut push_result = |out: &mut String,
+                           rule_id: &str,
+                           level: &str,
+                           path: &str,
+                           line: usize,
+                           col: usize,
+                           msg: &str| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+                "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"{}\",\n          \
+                 \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            \
+                 {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+                 \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}\n          ]\n        }}",
+                rule_id,
+                level,
+                json_escape(msg),
+                json_escape(path),
+                line.max(1),
+                col.max(1),
+            ));
+    };
+    for f in findings {
+        push_result(
+            &mut out,
+            f.rule.id(),
+            "error",
+            &f.path,
+            f.line,
+            f.col,
+            &f.message,
+        );
+    }
+    for e in failures {
+        push_result(&mut out, "parse", "warning", &e.path, e.line, 1, &e.message);
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, Fix, Rule};
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            path: "crates/dcsim/src/a.rs".into(),
+            line: 3,
+            col: 9,
+            rule: Rule::U2,
+            message: "escape with \"quotes\"".into(),
+            fix: Some(Fix {
+                span: crate::lex::Span { lo: 0, hi: 2 },
+                replacement: ".as_u64()".into(),
+            }),
+        }]
+    }
+
+    #[test]
+    fn json_has_finding_fields_and_escapes() {
+        let j = to_json(&sample(), &[], 12);
+        assert!(j.contains("\"rule\": \"U2\""));
+        assert!(j.contains("\"line\": 3"));
+        assert!(j.contains("\"col\": 9"));
+        assert!(j.contains("\"fixable\": true"));
+        assert!(j.contains("escape with \\\"quotes\\\""));
+        assert!(j.contains("\"files_scanned\": 12"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rule_and_location() {
+        let s = to_sarif(&sample(), &[]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"U2\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(s.contains("\"startColumn\": 9"));
+        // Exactly one rule descriptor for the one distinct rule.
+        assert_eq!(s.matches("\"shortDescription\"").count(), 1);
+    }
+
+    #[test]
+    fn sarif_reports_parse_failures_as_warnings() {
+        let fail = crate::parse::ParseFailure {
+            path: "crates/dcsim/src/broken.rs".into(),
+            line: 7,
+            message: "unbalanced delimiter".into(),
+        };
+        let s = to_sarif(&[], &[fail]);
+        assert!(s.contains("\"ruleId\": \"parse\""));
+        assert!(s.contains("\"level\": \"warning\""));
+    }
+
+    #[test]
+    fn empty_reports_are_valid_shape() {
+        let j = to_json(&[], &[], 0);
+        assert!(j.contains("\"findings\": []"));
+        let s = to_sarif(&[], &[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Autofix application: splice [`Fix`] replacements back into source text.
+//!
+//! Fixes are applied **back to front** so earlier spans stay valid, and
+//! overlapping fixes are resolved by keeping the one applied first
+//! (rightmost) and skipping any fix whose span intersects an
+//! already-applied edit. Nested findings (`a + b + c` produces an O1 on
+//! the outer *and* the inner `+`) therefore converge over repeated
+//! passes; [`crate::fix_tree`] iterates analysis + application until no
+//! applicable fix remains, which is what makes `--fix` idempotent.
+
+use crate::{Finding, Fix};
+
+/// Apply the given fixes to `src`, rightmost first, skipping overlaps.
+/// Returns the new text and how many fixes were applied.
+pub fn apply_fixes(src: &str, fixes: &[&Fix]) -> (String, usize) {
+    let mut sorted: Vec<&Fix> = fixes
+        .iter()
+        .copied()
+        .filter(|f| f.span.lo <= f.span.hi && f.span.hi <= src.len())
+        .collect();
+    // Rightmost first; for equal starts, the wider span wins.
+    sorted.sort_by(|a, b| b.span.lo.cmp(&a.span.lo).then(b.span.hi.cmp(&a.span.hi)));
+
+    let mut out = src.to_string();
+    let mut applied = 0usize;
+    let mut last_lo = usize::MAX; // lowest start already edited
+    for f in sorted {
+        if f.span.hi > last_lo {
+            continue; // overlaps an edit already applied to its right
+        }
+        out.replace_range(f.span.lo..f.span.hi, &f.replacement);
+        last_lo = f.span.lo;
+        applied += 1;
+    }
+    (out, applied)
+}
+
+/// Convenience: apply every fix attached to `findings` for one file.
+pub fn apply_finding_fixes(src: &str, findings: &[Finding]) -> (String, usize) {
+    let fixes: Vec<&Fix> = findings.iter().filter_map(|f| f.fix.as_ref()).collect();
+    apply_fixes(src, &fixes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::Span;
+
+    fn fix(lo: usize, hi: usize, rep: &str) -> Fix {
+        Fix {
+            span: Span { lo, hi },
+            replacement: rep.to_string(),
+        }
+    }
+
+    #[test]
+    fn applies_back_to_front() {
+        let src = "a + b; c + d;";
+        let f1 = fix(0, 5, "a.saturating_add(b)");
+        let f2 = fix(7, 12, "c.saturating_add(d)");
+        let (out, n) = apply_fixes(src, &[&f1, &f2]);
+        assert_eq!(n, 2);
+        assert_eq!(out, "a.saturating_add(b); c.saturating_add(d);");
+    }
+
+    #[test]
+    fn skips_overlapping_inner_fix() {
+        // Outer span covers the whole expr, inner covers a prefix: only
+        // one of the two applies in a single pass.
+        let src = "a + b + c";
+        let outer = fix(0, 9, "(a + b).saturating_add(c)");
+        let inner = fix(0, 5, "a.saturating_add(b)");
+        let (out, n) = apply_fixes(src, &[&outer, &inner]);
+        assert_eq!(n, 1);
+        assert_eq!(out, "(a + b).saturating_add(c)");
+    }
+
+    #[test]
+    fn ignores_out_of_bounds_spans() {
+        let (out, n) = apply_fixes("abc", &[&fix(10, 20, "x")]);
+        assert_eq!(n, 0);
+        assert_eq!(out, "abc");
+    }
+}

@@ -1,0 +1,305 @@
+//! Local type inference with unit taint.
+//!
+//! The semantic rules need just enough typing to answer three questions:
+//! is this operand a unit newtype, is it a raw integer that *escaped*
+//! from a unit (via `.0` / `as_u64()` / a cast), or is it something the
+//! rules must leave alone? [`Ty`] models exactly that, and everything
+//! the walker cannot prove degrades to [`Ty::Unknown`] — the checkers
+//! only fire on positively identified types, so unknown is always safe.
+
+use std::collections::BTreeMap;
+
+use crate::ast::TypeRef;
+use crate::sym::{Symbols, UnitKind};
+
+/// Inferred type of an expression or binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// A unit newtype value (`Nanos`, `Bytes`, `BitRate`).
+    Unit(UnitKind),
+    /// An integer; `from` records the unit it escaped from, if any.
+    Int {
+        /// Taint: the unit this integer was extracted from.
+        from: Option<UnitKind>,
+    },
+    /// A float (`f32`/`f64`); taint is not tracked through floats.
+    Float,
+    /// `bool`.
+    Bool,
+    /// Some other named type, with inferred generic arguments
+    /// (`Option<Nanos>` → `Named {{ name: "Option", args: [Unit(Nanos)] }}`).
+    Named {
+        /// Bare type name.
+        name: String,
+        /// Generic arguments, when knowable.
+        args: Vec<Ty>,
+    },
+    /// Tuple.
+    Tuple(Vec<Ty>),
+    /// Could not be determined — the checkers never fire on this.
+    Unknown,
+}
+
+impl Ty {
+    /// A plain untainted integer.
+    pub const RAW_INT: Ty = Ty::Int { from: None };
+
+    /// Whether this is an integer (tainted or not).
+    pub fn is_int(&self) -> bool {
+        matches!(self, Ty::Int { .. })
+    }
+
+    /// The unit taint carried by this value, if any.
+    pub fn taint(&self) -> Option<UnitKind> {
+        match self {
+            Ty::Unit(k) => Some(*k),
+            Ty::Int { from } => *from,
+            _ => None,
+        }
+    }
+
+    /// Human-readable name for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Ty::Unit(k) => k.name().to_string(),
+            Ty::Int { from: Some(k) } => format!("u64 (from {})", k.name()),
+            Ty::Int { from: None } => "u64".to_string(),
+            Ty::Float => "f64".to_string(),
+            Ty::Bool => "bool".to_string(),
+            Ty::Named { name, .. } => name.clone(),
+            Ty::Tuple(_) => "tuple".to_string(),
+            Ty::Unknown => "_".to_string(),
+        }
+    }
+
+    /// Map a declared [`TypeRef`] to a [`Ty`] (references transparent).
+    pub fn from_typeref(ty: &TypeRef) -> Ty {
+        match ty {
+            TypeRef::Ref(inner) => Ty::from_typeref(inner),
+            TypeRef::Tuple(elems) => Ty::Tuple(elems.iter().map(Ty::from_typeref).collect()),
+            TypeRef::Unit => Ty::Unknown,
+            TypeRef::Other => Ty::Unknown,
+            TypeRef::Path { segs, args } => {
+                let Some(last) = segs.last() else {
+                    return Ty::Unknown;
+                };
+                if let Some(k) = UnitKind::from_name(last) {
+                    return Ty::Unit(k);
+                }
+                match last.as_str() {
+                    "u8" | "u16" | "u32" | "u64" | "u128" | "usize" | "i8" | "i16" | "i32"
+                    | "i64" | "i128" | "isize" => Ty::RAW_INT,
+                    "f32" | "f64" => Ty::Float,
+                    "bool" => Ty::Bool,
+                    _ => Ty::Named {
+                        name: last.clone(),
+                        args: args.iter().map(Ty::from_typeref).collect(),
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Lexically scoped binding environment.
+#[derive(Debug, Default)]
+pub struct Env {
+    scopes: Vec<BTreeMap<String, Ty>>,
+}
+
+impl Env {
+    /// New environment with one root scope.
+    pub fn new() -> Env {
+        Env {
+            scopes: vec![BTreeMap::new()],
+        }
+    }
+
+    /// Enter a nested scope.
+    pub fn push(&mut self) {
+        self.scopes.push(BTreeMap::new());
+    }
+
+    /// Leave the innermost scope.
+    pub fn pop(&mut self) {
+        self.scopes.pop();
+        debug_assert!(!self.scopes.is_empty(), "popped the root scope");
+        if self.scopes.is_empty() {
+            self.scopes.push(BTreeMap::new());
+        }
+    }
+
+    /// Bind a name in the innermost scope.
+    pub fn bind(&mut self, name: &str, ty: Ty) {
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.insert(name.to_string(), ty);
+        }
+    }
+
+    /// Look a name up, innermost scope first.
+    pub fn lookup(&self, name: &str) -> Ty {
+        for scope in self.scopes.iter().rev() {
+            if let Some(ty) = scope.get(name) {
+                return ty.clone();
+            }
+        }
+        Ty::Unknown
+    }
+}
+
+/// Result type of a method call on `recv_ty`, consulting the workspace
+/// symbol table first and falling back to a table of well-known std
+/// methods. Returns [`Ty::Unknown`] rather than guessing.
+pub fn method_ret(sym: &Symbols, recv_ty: &Ty, method: &str, args: &[Ty]) -> Ty {
+    // Workspace inherent methods, with escape tainting: a workspace
+    // method on a unit that returns a raw integer is an escape hatch.
+    if let Some(tyname) = named_of(recv_ty) {
+        if let Some(info) = sym.methods.get(&(tyname.to_string(), method.to_string())) {
+            if info.has_self {
+                let ret = Ty::from_typeref(&info.ret);
+                return taint_escape(recv_ty, ret);
+            }
+        }
+    }
+    match recv_ty {
+        Ty::Int { from } => match method {
+            "saturating_add" | "saturating_sub" | "saturating_mul" | "wrapping_add"
+            | "wrapping_sub" | "wrapping_mul" | "pow" | "saturating_pow" | "div_ceil"
+            | "next_multiple_of" | "abs_diff" | "rotate_left" | "rotate_right"
+            | "leading_zeros" | "trailing_zeros" | "count_ones" | "isqrt" => {
+                Ty::Int { from: *from }
+            }
+            "min" | "max" | "clamp" => Ty::Int {
+                from: from.or_else(|| args.iter().find_map(Ty::taint)),
+            },
+            "checked_add" | "checked_sub" | "checked_mul" | "checked_div" | "checked_rem" => {
+                Ty::Named {
+                    name: "Option".to_string(),
+                    args: vec![Ty::Int { from: *from }],
+                }
+            }
+            _ => Ty::Unknown,
+        },
+        Ty::Unit(k) => match method {
+            // Std-derived comparisons/orderings on units keep the unit.
+            "min" | "max" | "clamp" => Ty::Unit(*k),
+            _ => Ty::Unknown,
+        },
+        Ty::Float => match method {
+            "round" | "floor" | "ceil" | "trunc" | "abs" | "sqrt" | "powi" | "powf" | "min"
+            | "max" | "clamp" | "mul_add" | "ln" | "log2" | "log10" | "exp" => Ty::Float,
+            _ => Ty::Unknown,
+        },
+        Ty::Named { name, args: targs } if name == "Option" || name == "Result" => match method {
+            "unwrap" | "expect" | "unwrap_or_default" => {
+                targs.first().cloned().unwrap_or(Ty::Unknown)
+            }
+            "unwrap_or" => args
+                .first()
+                .cloned()
+                .or_else(|| targs.first().cloned())
+                .unwrap_or(Ty::Unknown),
+            "unwrap_or_else" => targs.first().cloned().unwrap_or(Ty::Unknown),
+            _ => Ty::Unknown,
+        },
+        _ => Ty::Unknown,
+    }
+}
+
+/// When a workspace method on a unit returns a raw integer, mark the
+/// result as escaped from that unit (`t.as_u64()` → tainted u64).
+fn taint_escape(recv_ty: &Ty, ret: Ty) -> Ty {
+    match (recv_ty, &ret) {
+        (Ty::Unit(k), Ty::Int { from: None }) => Ty::Int { from: Some(*k) },
+        _ => ret,
+    }
+}
+
+/// The bare type name behind a [`Ty`], when it has one.
+pub fn named_of(ty: &Ty) -> Option<&str> {
+    match ty {
+        Ty::Unit(k) => Some(k.name()),
+        Ty::Named { name, .. } => Some(name),
+        _ => None,
+    }
+}
+
+/// Element type yielded by iterating a container type.
+pub fn elem_of(ty: &Ty) -> Ty {
+    match ty {
+        Ty::Named { name, args }
+            if matches!(
+                name.as_str(),
+                "Vec" | "VecDeque" | "BinaryHeap" | "Option" | "BTreeSet" | "HashSet" | "Box"
+            ) =>
+        {
+            args.first().cloned().unwrap_or(Ty::Unknown)
+        }
+        _ => Ty::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typeref_mapping() {
+        assert_eq!(
+            Ty::from_typeref(&TypeRef::name("Nanos")),
+            Ty::Unit(UnitKind::Nanos)
+        );
+        assert_eq!(Ty::from_typeref(&TypeRef::name("u64")), Ty::RAW_INT);
+        assert_eq!(Ty::from_typeref(&TypeRef::name("f64")), Ty::Float);
+        assert_eq!(
+            Ty::from_typeref(&TypeRef::Ref(Box::new(TypeRef::name("Bytes")))),
+            Ty::Unit(UnitKind::Bytes)
+        );
+        let vec_nanos = TypeRef::Path {
+            segs: vec!["Vec".into()],
+            args: vec![TypeRef::name("Nanos")],
+        };
+        assert_eq!(
+            elem_of(&Ty::from_typeref(&vec_nanos)),
+            Ty::Unit(UnitKind::Nanos)
+        );
+    }
+
+    #[test]
+    fn env_scoping() {
+        let mut env = Env::new();
+        env.bind("t", Ty::Unit(UnitKind::Nanos));
+        env.push();
+        env.bind("t", Ty::RAW_INT);
+        assert_eq!(env.lookup("t"), Ty::RAW_INT);
+        env.pop();
+        assert_eq!(env.lookup("t"), Ty::Unit(UnitKind::Nanos));
+        assert_eq!(env.lookup("missing"), Ty::Unknown);
+    }
+
+    #[test]
+    fn std_method_table() {
+        let sym = Symbols::default();
+        assert_eq!(
+            method_ret(
+                &sym,
+                &Ty::Int {
+                    from: Some(UnitKind::Nanos)
+                },
+                "saturating_add",
+                &[]
+            ),
+            Ty::Int {
+                from: Some(UnitKind::Nanos)
+            }
+        );
+        let opt = Ty::Named {
+            name: "Option".into(),
+            args: vec![Ty::Unit(UnitKind::Bytes)],
+        };
+        assert_eq!(
+            method_ret(&sym, &opt, "unwrap", &[]),
+            Ty::Unit(UnitKind::Bytes)
+        );
+    }
+}

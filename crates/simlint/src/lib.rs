@@ -37,22 +37,57 @@
 //!
 //! # Heuristics, stated plainly
 //!
-//! This is a token scanner, not a type checker. D4 in particular flags a
-//! line only when an integer cast (`as u64` and friends) co-occurs with
-//! float evidence on the same line (`f64`/`f32` in any token, or a
-//! `.round()`/`.ceil()`/`.floor()` call). Casts split across lines can
-//! evade it; the runtime `sim-audit` layer is the backstop for what the
-//! scanner cannot see.
+//! The D-family is a token scanner, not a type checker. D4 in particular
+//! flags a line only when an integer cast (`as u64` and friends)
+//! co-occurs with float evidence on the same line (`f64`/`f32` in any
+//! token, or a `.round()`/`.ceil()`/`.floor()` call). Casts split across
+//! lines can evade it; the runtime `sim-audit` layer is the backstop for
+//! what the scanner cannot see.
+//!
+//! # simlint v2: the semantic pass
+//!
+//! On top of the line scanner sits a symbol-aware pass: a hand-rolled,
+//! dependency-free recursive-descent parser ([`parse`]) for the Rust
+//! subset the workspace uses produces per-file ASTs ([`ast`]) plus a
+//! workspace symbol table ([`sym`]: struct fields, enum variants,
+//! operator impls, method signatures, use-paths). Local type inference
+//! with unit taint ([`infer`]) then powers three rule families
+//! ([`sem`]):
+//!
+//! | id | forbids | scope |
+//! |----|---------|-------|
+//! | U1 | arithmetic mixing `Nanos`/`Bytes`/`BitRate` with raw integers or each other (unless an operator impl exists) | sim crates, except `units.rs`/`time.rs` |
+//! | U2 | `.0` newtype escapes (use `.as_u64()`) | sim crates, except `units.rs`/`time.rs` |
+//! | U3 | raw-literal unit construction (`Nanos(80)`) | sim crates, non-test |
+//! | O1 | unchecked `+`/`*`/`+=` on u64 time/byte quantities | dcsim/netsim hot paths, non-test |
+//! | E1 | unguarded `_` arms in matches over workspace protocol enums | sim crates, non-test |
+//! | S1 | stale `simlint: allow(...)` comments that suppress nothing | everywhere |
+//!
+//! Only lexer errors and unbalanced delimiters are fatal (exit code 2);
+//! everything else degrades to opaque AST nodes, and every check fires
+//! only on positively identified types, so incomplete inference means
+//! silence rather than noise. Findings with mechanical rewrites carry a
+//! [`Fix`]; [`fix_source_set`]/[`fix_tree`] apply them to a fixpoint so
+//! `--fix` is idempotent. [`emit`] renders JSON and SARIF 2.1.0 for CI.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod ast;
+pub mod emit;
+pub mod fix;
+pub mod infer;
+pub mod lex;
+pub mod parse;
+pub mod sem;
+pub mod sym;
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// One of the five determinism/invariant rules.
+/// One of the determinism/invariant rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// Default-hasher `HashMap`/`HashSet` in sim crates.
@@ -65,11 +100,35 @@ pub enum Rule {
     D4,
     /// `.unwrap()` / empty-message `.expect()` in sim crates.
     D5,
+    /// Arithmetic mixing unit newtypes with raw integers or each other.
+    U1,
+    /// `.0` escapes of unit newtypes outside the unit-definition files.
+    U2,
+    /// Raw-literal unit construction outside the unit-definition files.
+    U3,
+    /// Unchecked `+`/`*`/`+=` on u64 quantities in dcsim/netsim.
+    O1,
+    /// Wildcard `_` match arms over workspace protocol enums.
+    E1,
+    /// Stale `simlint: allow(...)` comments that suppress nothing.
+    S1,
 }
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5];
+    pub const ALL: [Rule; 11] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::D4,
+        Rule::D5,
+        Rule::U1,
+        Rule::U2,
+        Rule::U3,
+        Rule::O1,
+        Rule::E1,
+        Rule::S1,
+    ];
 
     /// The short id used in reports and suppression comments.
     pub fn id(self) -> &'static str {
@@ -79,7 +138,18 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::U1 => "U1",
+            Rule::U2 => "U2",
+            Rule::U3 => "U3",
+            Rule::O1 => "O1",
+            Rule::E1 => "E1",
+            Rule::S1 => "S1",
         }
+    }
+
+    /// The rule family letter (`'D'`, `'U'`, `'O'`, `'E'`, `'S'`).
+    pub fn family(self) -> char {
+        self.id().chars().next().expect("rule ids are non-empty")
     }
 
     /// One-line description for `--explain` output.
@@ -105,18 +175,60 @@ impl Rule {
                 ".unwrap()/.expect(\"\") hides the violated invariant; use a typed error \
                  or .expect(\"why this cannot fail\")"
             }
+            Rule::U1 => {
+                "arithmetic mixing Nanos/Bytes/BitRate with raw integers (or with each \
+                 other) bypasses unit safety; convert explicitly via named constructors \
+                 or .as_u64()"
+            }
+            Rule::U2 => {
+                ".0 escapes a unit newtype into an untyped u64 invisibly; \
+                 .as_u64() names the escape so it can be audited"
+            }
+            Rule::U3 => {
+                "raw-literal unit construction (Nanos(80)) bypasses the named \
+                 constructors that document the scale; use Nanos::from_ns / \
+                 Bytes::new / BitRate::from_bps or a unit constant"
+            }
+            Rule::O1 => {
+                "unchecked +/*/+= on u64 time/byte quantities in dcsim/netsim hot \
+                 paths can overflow silently; use saturating_*/checked_* or a \
+                 justified allow"
+            }
+            Rule::E1 => {
+                "a wildcard _ arm over a workspace protocol enum silently swallows \
+                 newly added variants; enumerate the variants explicitly"
+            }
+            Rule::S1 => {
+                "a simlint: allow(...) comment that no longer suppresses anything is \
+                 dead weight and hides future findings; delete it"
+            }
         }
     }
 
-    fn parse(s: &str) -> Option<Rule> {
-        match s.trim() {
-            "D1" => Some(Rule::D1),
-            "D2" => Some(Rule::D2),
-            "D3" => Some(Rule::D3),
-            "D4" => Some(Rule::D4),
-            "D5" => Some(Rule::D5),
-            _ => None,
+    /// Parse a rule id (used by suppression comments and `--rules`).
+    pub fn parse(s: &str) -> Option<Rule> {
+        let s = s.trim();
+        Rule::ALL.into_iter().find(|r| r.id() == s)
+    }
+
+    /// Parse a `--rules` filter entry: a rule id (`U2`) or a family
+    /// letter (`U`). Returns every matching rule.
+    pub fn parse_filter(s: &str) -> Option<Vec<Rule>> {
+        let s = s.trim();
+        if let Some(r) = Rule::parse(s) {
+            return Some(vec![r]);
         }
+        if s.len() == 1 {
+            let fam = s.chars().next().expect("len checked");
+            let rules: Vec<Rule> = Rule::ALL
+                .into_iter()
+                .filter(|r| r.family() == fam.to_ascii_uppercase())
+                .collect();
+            if !rules.is_empty() {
+                return Some(rules);
+            }
+        }
+        None
     }
 }
 
@@ -126,6 +238,16 @@ impl fmt::Display for Rule {
     }
 }
 
+/// A mechanical rewrite attached to a finding: replace the byte span
+/// with the replacement text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// Byte range in the file's source text.
+    pub span: lex::Span,
+    /// Replacement text.
+    pub replacement: String,
+}
+
 /// One rule violation at a specific source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -133,10 +255,15 @@ pub struct Finding {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column (byte offset within the line); 1 when the
+    /// producing rule is line-granular.
+    pub col: usize,
     /// The violated rule.
     pub rule: Rule,
     /// Human-readable explanation.
     pub message: String,
+    /// Mechanical rewrite, when the finding has one (`--fix` applies it).
+    pub fix: Option<Fix>,
 }
 
 impl fmt::Display for Finding {
@@ -516,17 +643,9 @@ fn parse_suppressions(comment: &str) -> Vec<Rule> {
     out
 }
 
-/// Scan one file's source text. `display_path` drives both scope
-/// classification and the paths embedded in findings.
-pub fn scan_source(display_path: &str, src: &str) -> Vec<Finding> {
-    let scope = scope_of(display_path);
-    let file_name = Path::new(display_path)
-        .file_name()
-        .map(|f| f.to_string_lossy().into_owned())
-        .unwrap_or_default();
-    let lines = strip_source(src);
-
-    // Suppression map: rule -> suppressed on line k (0-based).
+/// v1 suppression map from stripped lines: `map[k]` holds the rules
+/// suppressed on 0-based line `k`.
+fn v1_suppression_map(lines: &[StrippedLine]) -> Vec<Vec<Rule>> {
     let mut suppressed: Vec<Vec<Rule>> = vec![Vec::new(); lines.len() + 1];
     for (k, line) in lines.iter().enumerate() {
         let rules = parse_suppressions(&line.comment);
@@ -539,17 +658,44 @@ pub fn scan_source(display_path: &str, src: &str) -> Vec<Finding> {
             suppressed[k + 1].extend(rules.iter().copied());
         }
     }
+    suppressed
+}
+
+/// Scan one file's source text with the v1 line rules and apply its
+/// suppression comments. `display_path` drives both scope classification
+/// and the paths embedded in findings.
+pub fn scan_source(display_path: &str, src: &str) -> Vec<Finding> {
+    let lines = strip_source(src);
+    let suppressed = v1_suppression_map(&lines);
+    v1_scan_lines(display_path, &lines)
+        .into_iter()
+        .filter(|f| {
+            !suppressed
+                .get(f.line - 1)
+                .is_some_and(|sup| sup.contains(&f.rule))
+        })
+        .collect()
+}
+
+/// The v1 per-line token rules, without suppression (the pipeline
+/// applies allows across v1 and v2 findings together).
+fn v1_scan_lines(display_path: &str, lines: &[StrippedLine]) -> Vec<Finding> {
+    let scope = scope_of(display_path);
+    let file_name = Path::new(display_path)
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_default();
 
     let mut findings = Vec::new();
-    let mut push = |k: usize, rule: Rule, message: String, sup: &[Rule]| {
-        if !sup.contains(&rule) {
-            findings.push(Finding {
-                path: display_path.to_string(),
-                line: k + 1,
-                rule,
-                message,
-            });
-        }
+    let mut push = |k: usize, rule: Rule, message: String, _sup: &[Rule]| {
+        findings.push(Finding {
+            path: display_path.to_string(),
+            line: k + 1,
+            col: 1,
+            rule,
+            message,
+            fix: None,
+        });
     };
 
     for (k, line) in lines.iter().enumerate() {
@@ -557,7 +703,7 @@ pub fn scan_source(display_path: &str, src: &str) -> Vec<Finding> {
         if code.trim().is_empty() {
             continue;
         }
-        let sup = &suppressed[k];
+        let sup: &[Rule] = &[];
 
         // D1: default-hasher hash collections in sim code.
         if scope == Scope::Sim
@@ -670,21 +816,247 @@ pub fn collect_rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Scan every `.rs` file under `root`. Returns `(findings, files_scanned)`.
-pub fn scan_tree(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
-    let files = collect_rust_files(root)?;
-    let n = files.len();
+/// The result of running the full v1+v2 pipeline over a set of files.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Post-suppression findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Files the v2 parser could not process (lexer error or unbalanced
+    /// delimiters); v1 rules still ran on these.
+    pub parse_failures: Vec<parse::ParseFailure>,
+    /// Number of files analyzed.
+    pub scanned: usize,
+}
+
+/// One `simlint: allow(...)` directive found in a file's comments.
+struct AllowSite {
+    line: usize,
+    end_line: usize,
+    rules: Vec<Rule>,
+    span: lex::Span,
+    comment_only: bool,
+    used: bool,
+}
+
+impl AllowSite {
+    fn covers(&self, line: usize) -> bool {
+        (self.line <= line && line <= self.end_line)
+            || (self.comment_only && line == self.end_line + 1)
+    }
+}
+
+/// Collect allow directives from lexed comments. Doc comments (`///`,
+/// `//!`) are documentation, not directives — example allow text inside
+/// them neither suppresses nor goes stale.
+fn allows_from_lexed(lexed: &lex::Lexed) -> Vec<AllowSite> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        if c.doc {
+            continue;
+        }
+        let rules = parse_suppressions(&c.text);
+        if rules.is_empty() {
+            continue;
+        }
+        let comment_only =
+            (c.line..=c.end_line).all(|l| !lexed.line_has_code.get(l).copied().unwrap_or(false));
+        out.push(AllowSite {
+            line: c.line,
+            end_line: c.end_line,
+            rules,
+            span: c.span,
+            comment_only,
+            used: false,
+        });
+    }
+    out
+}
+
+/// The span `--fix` deletes for a stale allow: the comment plus its
+/// leading inline whitespace, plus the trailing newline when the comment
+/// stands on lines of its own.
+fn stale_allow_deletion(src: &str, site: &AllowSite) -> lex::Span {
+    let bytes = src.as_bytes();
+    let mut lo = site.span.lo;
+    while lo > 0 && matches!(bytes[lo - 1], b' ' | b'\t') {
+        lo -= 1;
+    }
+    let mut hi = site.span.hi.min(src.len());
+    if site.comment_only && (lo == 0 || bytes[lo - 1] == b'\n') && bytes.get(hi) == Some(&b'\n') {
+        hi += 1;
+    }
+    lex::Span { lo, hi }
+}
+
+/// Run the full pipeline (v1 line rules, v2 semantic rules, shared
+/// suppression, S1 staleness) over an in-memory set of
+/// `(display_path, source)` files. The workspace symbol table is built
+/// from every file that parses, so cross-file type resolution works.
+pub fn analyze_files(files: &[(String, String)]) -> Analysis {
+    let mut parse_failures = Vec::new();
+    let mut parsed: Vec<Option<(ast::File, lex::Lexed)>> = Vec::with_capacity(files.len());
+    for (path, src) in files {
+        match parse::parse_file(path, src) {
+            Ok(p) => parsed.push(Some(p)),
+            Err(e) => {
+                parse_failures.push(e);
+                parsed.push(None);
+            }
+        }
+    }
+    let ast_files: Vec<&ast::File> = parsed.iter().flatten().map(|(f, _)| f).collect();
+    let symbols = sym::Symbols::build(ast_files.iter().copied());
+
     let mut findings = Vec::new();
-    for path in files {
+    for ((path, src), parsed) in files.iter().zip(&parsed) {
+        let lines = strip_source(src);
+        let mut raw = v1_scan_lines(path, &lines);
+        match parsed {
+            Some((file, lexed)) => {
+                raw.extend(sem::check_file(file, src, &symbols));
+                let mut allows = allows_from_lexed(lexed);
+                raw.retain(|f| {
+                    let mut keep = true;
+                    for a in allows.iter_mut() {
+                        if a.covers(f.line) && a.rules.contains(&f.rule) {
+                            a.used = true;
+                            keep = false;
+                        }
+                    }
+                    keep
+                });
+                let index = sem::LineIndex::new(src);
+                for a in allows.iter().filter(|a| !a.used) {
+                    let (line, col) = index.line_col(a.span.lo);
+                    let ids: Vec<&str> = a.rules.iter().map(|r| r.id()).collect();
+                    raw.push(Finding {
+                        path: path.clone(),
+                        line,
+                        col,
+                        rule: Rule::S1,
+                        message: format!(
+                            "stale `simlint: allow({})` — it suppresses nothing on \
+                             this or the next line; delete it",
+                            ids.join(", ")
+                        ),
+                        fix: Some(Fix {
+                            span: stale_allow_deletion(src, a),
+                            replacement: String::new(),
+                        }),
+                    });
+                }
+            }
+            None => {
+                // Parser could not process the file: fall back to the v1
+                // suppression semantics and skip the S1 staleness check.
+                let suppressed = v1_suppression_map(&lines);
+                raw.retain(|f| {
+                    !suppressed
+                        .get(f.line - 1)
+                        .is_some_and(|sup| sup.contains(&f.rule))
+                });
+            }
+        }
+        findings.extend(raw);
+    }
+
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    parse_failures.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Analysis {
+        findings,
+        parse_failures,
+        scanned: files.len(),
+    }
+}
+
+/// Read every `.rs` file under `root` into memory, with workspace-
+/// relative display paths.
+pub fn read_tree(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for path in collect_rust_files(root)? {
         let display = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
         let src = fs::read_to_string(&path)?;
-        findings.extend(scan_source(&display, &src));
+        out.push((display, src));
     }
-    Ok((findings, n))
+    Ok(out)
+}
+
+/// Run the full pipeline over every `.rs` file under `root`.
+pub fn analyze_tree(root: &Path) -> io::Result<Analysis> {
+    Ok(analyze_files(&read_tree(root)?))
+}
+
+/// Scan every `.rs` file under `root` with the full rule set.
+/// Returns `(findings, files_scanned)`; parse failures are reported via
+/// [`analyze_tree`], which this wraps.
+pub fn scan_tree(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+    let a = analyze_tree(root)?;
+    Ok((a.findings, a.scanned))
+}
+
+/// Apply every available fix across an in-memory file set, re-analyzing
+/// between passes until no applicable fix remains (nested findings need
+/// more than one splice). Returns the number of fixes applied.
+pub fn fix_source_set(files: &mut [(String, String)]) -> usize {
+    let mut total = 0;
+    for _ in 0..8 {
+        let analysis = analyze_files(files);
+        let mut pass = 0;
+        for (path, src) in files.iter_mut() {
+            let per_file: Vec<&Finding> = analysis
+                .findings
+                .iter()
+                .filter(|f| &f.path == path && f.fix.is_some())
+                .collect();
+            if per_file.is_empty() {
+                continue;
+            }
+            let fixes: Vec<&Fix> = per_file.iter().filter_map(|f| f.fix.as_ref()).collect();
+            let (new_src, n) = fix::apply_fixes(src, &fixes);
+            if n > 0 {
+                *src = new_src;
+                pass += n;
+            }
+        }
+        total += pass;
+        if pass == 0 {
+            break;
+        }
+    }
+    total
+}
+
+/// Result of [`fix_tree`].
+#[derive(Debug, Default)]
+pub struct FixReport {
+    /// Total fixes applied across all passes.
+    pub applied: usize,
+    /// Display paths of the files rewritten.
+    pub files: Vec<String>,
+}
+
+/// Apply every available fix to the tree under `root`, writing changed
+/// files back to disk.
+pub fn fix_tree(root: &Path) -> io::Result<FixReport> {
+    let original = read_tree(root)?;
+    let mut files = original.clone();
+    let applied = fix_source_set(&mut files);
+    let mut report = FixReport {
+        applied,
+        files: Vec::new(),
+    };
+    for ((display, new_src), (_, old_src)) in files.iter().zip(&original) {
+        if new_src != old_src {
+            fs::write(root.join(display), new_src)?;
+            report.files.push(display.clone());
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -1,18 +1,47 @@
-//! `cargo run -p simlint [-- <root>]` — walk a source tree and report
-//! determinism/invariant rule violations. Exits nonzero when any survive.
+//! `cargo run -p simlint [-- <flags>] [ROOT]` — walk a source tree and
+//! report determinism, unit-safety, overflow, and exhaustiveness rule
+//! violations.
+//!
+//! Exit codes:
+//!   0  clean (no findings after suppression/filtering)
+//!   1  one or more findings reported
+//!   2  a file could not be parsed, or the invocation itself was invalid
 
 #![deny(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use simlint::{scan_tree, Rule};
+use simlint::{analyze_tree, emit, fix_tree, Rule};
 
-fn usage() -> ! {
-    eprintln!("usage: simlint [--explain] [ROOT]");
-    eprintln!("  ROOT       directory to scan (default: the workspace root / cwd)");
-    eprintln!("  --explain  print the rule table and exit");
-    std::process::exit(2);
+const HELP: &str = "\
+simlint — static analysis for the simulator workspace
+
+usage: simlint [OPTIONS] [ROOT]
+
+  ROOT             directory to scan (default: the workspace root / cwd)
+
+options:
+  --rules LIST     comma-separated rule ids or family letters to report
+                   (e.g. `--rules U,O` or `--rules D3,E1`; default: all)
+  --emit FORMAT    output format: text (default), json, or sarif
+  --fix            apply mechanical fixes in place, then report what remains
+  --explain        print the rule table and exit
+  -h, --help       print this help and exit
+
+exit codes:
+  0  clean — no findings
+  1  findings reported
+  2  parse error (a scanned file could not be parsed) or bad usage
+
+Suppress a finding with `// simlint: allow(RULE) — reason` on (or above)
+the offending line. Unused allows are themselves reported (rule S1).
+";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("simlint: {msg}");
+    eprintln!("run `simlint --help` for usage");
+    ExitCode::from(2)
 }
 
 /// Default scan root: the workspace root when invoked via `cargo run -p
@@ -27,9 +56,21 @@ fn default_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Emit {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
+    let mut rules: Option<Vec<Rule>> = None;
+    let mut emit_fmt = Emit::Text;
+    let mut do_fix = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--explain" => {
                 for r in Rule::ALL {
@@ -37,38 +78,136 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
-            "--help" | "-h" => usage(),
-            _ if arg.starts_with('-') => usage(),
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            "--fix" => do_fix = true,
+            "--rules" => {
+                let Some(list) = args.next() else {
+                    return usage_error("--rules needs a value (e.g. `--rules U,O`)");
+                };
+                let mut selected = Vec::new();
+                for entry in list.split(',').filter(|e| !e.trim().is_empty()) {
+                    match Rule::parse_filter(entry) {
+                        Some(mut rs) => selected.append(&mut rs),
+                        None => {
+                            return usage_error(&format!(
+                                "unknown rule or family `{}` in --rules",
+                                entry.trim()
+                            ));
+                        }
+                    }
+                }
+                if selected.is_empty() {
+                    return usage_error("--rules selected no rules");
+                }
+                selected.sort();
+                selected.dedup();
+                rules = Some(selected);
+            }
+            "--emit" => {
+                let Some(fmt) = args.next() else {
+                    return usage_error("--emit needs a value: text, json, or sarif");
+                };
+                emit_fmt = match fmt.as_str() {
+                    "text" => Emit::Text,
+                    "json" => Emit::Json,
+                    "sarif" => Emit::Sarif,
+                    other => {
+                        return usage_error(&format!(
+                            "unknown --emit format `{other}` (expected text, json, or sarif)"
+                        ));
+                    }
+                };
+            }
+            _ if arg.starts_with('-') => {
+                return usage_error(&format!("unknown option `{arg}`"));
+            }
             _ if root.is_none() => root = Some(PathBuf::from(arg)),
-            _ => usage(),
+            _ => return usage_error("more than one ROOT given"),
         }
     }
     let root = root.unwrap_or_else(default_root);
 
-    let (findings, scanned) = match scan_tree(&root) {
-        Ok(r) => r,
+    if do_fix {
+        match fix_tree(&root) {
+            Ok(report) => {
+                if report.applied > 0 {
+                    eprintln!(
+                        "simlint: applied {} fix(es) across {} file(s)",
+                        report.applied,
+                        report.files.len()
+                    );
+                    for f in &report.files {
+                        eprintln!("  fixed {f}");
+                    }
+                } else {
+                    eprintln!("simlint: nothing to fix");
+                }
+            }
+            Err(e) => {
+                eprintln!("simlint: cannot fix {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut analysis = match analyze_tree(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("simlint: cannot scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-
-    for f in &findings {
-        println!("{f}");
+    if let Some(selected) = &rules {
+        analysis.findings.retain(|f| selected.contains(&f.rule));
     }
-    if findings.is_empty() {
-        println!(
-            "simlint: clean — {scanned} files scanned under {}",
-            root.display()
-        );
+
+    match emit_fmt {
+        Emit::Json => print!(
+            "{}",
+            emit::to_json(
+                &analysis.findings,
+                &analysis.parse_failures,
+                analysis.scanned
+            )
+        ),
+        Emit::Sarif => print!(
+            "{}",
+            emit::to_sarif(&analysis.findings, &analysis.parse_failures)
+        ),
+        Emit::Text => {
+            for f in &analysis.findings {
+                println!("{f}");
+            }
+            for e in &analysis.parse_failures {
+                eprintln!("{}:{}: parse error: {}", e.path, e.line, e.message);
+            }
+            if analysis.findings.is_empty() && analysis.parse_failures.is_empty() {
+                println!(
+                    "simlint: clean — {} files scanned under {}",
+                    analysis.scanned,
+                    root.display()
+                );
+            } else {
+                println!(
+                    "simlint: {} finding(s), {} parse error(s) in {} files scanned under {} \
+                     (suppress with `// simlint: allow(RULE) — reason`)",
+                    analysis.findings.len(),
+                    analysis.parse_failures.len(),
+                    analysis.scanned,
+                    root.display()
+                );
+            }
+        }
+    }
+
+    if !analysis.parse_failures.is_empty() {
+        ExitCode::from(2)
+    } else if analysis.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!(
-            "simlint: {} finding(s) in {scanned} files scanned under {} \
-             (suppress with `// simlint: allow(Dn) — reason`)",
-            findings.len(),
-            root.display()
-        );
         ExitCode::FAILURE
     }
 }

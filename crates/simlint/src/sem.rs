@@ -1,0 +1,1100 @@
+//! Semantic rule checkers: the U (unit safety), O (overflow policy) and
+//! E (exhaustiveness) families.
+//!
+//! [`check_file`] walks one parsed file with a scoped type environment
+//! (see [`crate::infer`]) and the workspace symbol table, emitting raw
+//! findings — suppression and the S-family staleness pass are applied by
+//! the pipeline in `lib.rs`, which sees all files.
+//!
+//! Every check fires only on a *positively identified* type: anything
+//! the walker cannot prove degrades to `Ty::Unknown`, which no rule
+//! matches, so incomplete inference produces silence, never noise.
+
+use crate::ast::{Arm, BinOp, Block, Expr, ExprKind, File, FnItem, Item, Lit, Pat, Stmt};
+use crate::infer::{elem_of, method_ret, named_of, Env, Ty};
+use crate::lex::Span;
+use crate::sym::{Symbols, UnitKind};
+use crate::{scope_of, Finding, Fix, Rule, Scope};
+
+/// Byte-offset → (line, col) mapping for one source file.
+#[derive(Debug)]
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Build the index from source text.
+    pub fn new(src: &str) -> LineIndex {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// 1-based (line, column) of a byte offset.
+    pub fn line_col(&self, pos: usize) -> (usize, usize) {
+        let line = match self.starts.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, pos - self.starts[line] + 1)
+    }
+}
+
+/// Run the U/O/E checkers over one parsed file.
+pub fn check_file(file: &File, src: &str, sym: &Symbols) -> Vec<Finding> {
+    let norm = file.path.replace('\\', "/");
+    let file_name = norm.rsplit('/').next().unwrap_or("").to_string();
+    let mut chk = Checker {
+        path: file.path.clone(),
+        src,
+        sym,
+        index: LineIndex::new(src),
+        env: Env::new(),
+        findings: Vec::new(),
+        in_test: false,
+        sim: scope_of(&file.path) == Scope::Sim,
+        unit_def_file: matches!(file_name.as_str(), "units.rs" | "time.rs"),
+        test_path: norm.contains("/tests/")
+            || norm.starts_with("tests/")
+            || norm.contains("/examples/")
+            || norm.starts_with("examples/")
+            || norm.contains("/benches/"),
+        o1_zone: norm.contains("dcsim/") || norm.contains("netsim/"),
+    };
+    chk.bind_consts(&file.items);
+    chk.walk_items(&file.items, None, false);
+    chk.findings
+}
+
+struct Checker<'a> {
+    path: String,
+    src: &'a str,
+    sym: &'a Symbols,
+    index: LineIndex,
+    env: Env,
+    findings: Vec<Finding>,
+    in_test: bool,
+    sim: bool,
+    unit_def_file: bool,
+    test_path: bool,
+    o1_zone: bool,
+}
+
+impl<'a> Checker<'a> {
+    // ----- rule scoping ---------------------------------------------------
+
+    /// U1/U2 apply: sim code outside the unit-definition files.
+    fn u_on(&self) -> bool {
+        self.sim && !self.unit_def_file
+    }
+
+    /// U3 additionally exempts tests/examples and `#[cfg(test)]` code.
+    fn u3_on(&self) -> bool {
+        self.u_on() && !self.test_path && !self.in_test
+    }
+
+    /// O1 applies in the dcsim/netsim hot paths, non-test only.
+    fn o1_on(&self) -> bool {
+        self.o1_zone && !self.test_path && !self.in_test
+    }
+
+    /// Inside `units.rs`/`time.rs` *all* integer `+`/`*` counts for O1
+    /// (that is where the unit impls themselves live).
+    fn o1_all(&self) -> bool {
+        self.unit_def_file
+    }
+
+    /// E1 applies in sim code outside tests.
+    fn e1_on(&self) -> bool {
+        self.sim && !self.in_test
+    }
+
+    // ----- helpers --------------------------------------------------------
+
+    fn src_of(&self, span: Span) -> &str {
+        self.src.get(span.lo..span.hi).unwrap_or("")
+    }
+
+    fn push(&mut self, rule: Rule, span: Span, message: String, fix: Option<Fix>) {
+        let (line, col) = self.index.line_col(span.lo);
+        self.findings.push(Finding {
+            path: self.path.clone(),
+            line,
+            col,
+            rule,
+            message,
+            fix,
+        });
+    }
+
+    /// Whether `e` can take a postfix `.method(..)` without parentheses.
+    fn postfix_safe(e: &Expr) -> bool {
+        matches!(
+            e.kind,
+            ExprKind::Path(_)
+                | ExprKind::Lit(_)
+                | ExprKind::Field { .. }
+                | ExprKind::MethodCall { .. }
+                | ExprKind::Call { .. }
+                | ExprKind::Paren(_)
+                | ExprKind::Index { .. }
+                | ExprKind::Try(_)
+                | ExprKind::MacroCall { .. }
+        )
+    }
+
+    fn wrapped(&self, e: &Expr) -> String {
+        let text = self.src_of(e.span);
+        if Self::postfix_safe(e) {
+            text.to_string()
+        } else {
+            format!("({text})")
+        }
+    }
+
+    // ----- declaration walk -----------------------------------------------
+
+    /// Pre-bind module-level consts so expressions can resolve them.
+    fn bind_consts(&mut self, items: &[Item]) {
+        for item in items {
+            match item {
+                Item::Const { name, ty, .. } => {
+                    self.env.bind(name, Ty::from_typeref(ty));
+                }
+                Item::Mod { items, .. } => self.bind_consts(items),
+                _ => {}
+            }
+        }
+    }
+
+    fn walk_items(&mut self, items: &[Item], self_ty: Option<&Ty>, in_test: bool) {
+        for item in items {
+            match item {
+                Item::Fn(f) => self.walk_fn(f, self_ty, in_test),
+                Item::Impl {
+                    self_ty: st,
+                    items,
+                    cfg_test,
+                    ..
+                } => {
+                    let ty = Ty::from_typeref(st);
+                    self.walk_items(items, Some(&ty), in_test || *cfg_test);
+                }
+                Item::Mod {
+                    cfg_test, items, ..
+                } => self.walk_items(items, None, in_test || *cfg_test),
+                Item::Trait { items, .. } => self.walk_items(items, None, in_test),
+                Item::Const { init: Some(e), .. } => {
+                    let saved = self.in_test;
+                    self.in_test = in_test;
+                    self.expr_ty(e);
+                    self.in_test = saved;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn walk_fn(&mut self, f: &FnItem, self_ty: Option<&Ty>, in_test: bool) {
+        let Some(body) = &f.body else { return };
+        let saved = self.in_test;
+        self.in_test = in_test || f.cfg_test;
+        self.env.push();
+        if f.self_param.is_some() {
+            if let Some(ty) = self_ty {
+                self.env.bind("self", ty.clone());
+            }
+        }
+        for (pat, ty) in &f.params {
+            let t = Ty::from_typeref(ty);
+            self.bind_pat(pat, &t);
+        }
+        self.block_ty(body);
+        self.env.pop();
+        self.in_test = saved;
+    }
+
+    // ----- bindings -------------------------------------------------------
+
+    fn bind_pat(&mut self, pat: &Pat, ty: &Ty) {
+        match pat {
+            Pat::Path(segs) if segs.len() == 1 => {
+                let name = &segs[0];
+                if name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_')
+                {
+                    self.env.bind(name, ty.clone());
+                }
+            }
+            Pat::TupleStruct { path, elems } => {
+                let last = path.last().map(|s| s.as_str()).unwrap_or("");
+                if let (Some(k), 1) = (UnitKind::from_name(last), elems.len()) {
+                    self.bind_pat(&elems[0], &Ty::Int { from: Some(k) });
+                } else if matches!(last, "Some" | "Ok") && elems.len() == 1 {
+                    let inner = match ty {
+                        Ty::Named { name, args } if name == "Option" || name == "Result" => {
+                            args.first().cloned().unwrap_or(Ty::Unknown)
+                        }
+                        _ => Ty::Unknown,
+                    };
+                    self.bind_pat(&elems[0], &inner);
+                } else if let Some(info) = self.sym.structs.get(last) {
+                    let fields = info.tuple_fields.clone();
+                    for (i, elem) in elems.iter().enumerate() {
+                        let t = fields.get(i).map(Ty::from_typeref).unwrap_or(Ty::Unknown);
+                        self.bind_pat(elem, &t);
+                    }
+                } else {
+                    // Unknown payloads still shadow outer bindings.
+                    for elem in elems {
+                        self.bind_pat(elem, &Ty::Unknown);
+                    }
+                }
+            }
+            Pat::Tuple(elems) => {
+                if let Ty::Tuple(ts) = ty {
+                    for (i, elem) in elems.iter().enumerate() {
+                        let t = ts.get(i).cloned().unwrap_or(Ty::Unknown);
+                        self.bind_pat(elem, &t);
+                    }
+                } else {
+                    for elem in elems {
+                        self.bind_pat(elem, &Ty::Unknown);
+                    }
+                }
+            }
+            Pat::Or(ps) => {
+                for p in ps {
+                    self.bind_pat(p, ty);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn block_ty(&mut self, block: &Block) -> Ty {
+        self.env.push();
+        let mut last = Ty::Unknown;
+        for stmt in &block.stmts {
+            last = Ty::Unknown;
+            match stmt {
+                Stmt::Let { pat, ty, init } => {
+                    let ity = init.as_ref().map(|e| self.expr_ty(e));
+                    let t = ty
+                        .as_ref()
+                        .map(Ty::from_typeref)
+                        .or(ity)
+                        .unwrap_or(Ty::Unknown);
+                    self.bind_pat(pat, &t);
+                }
+                Stmt::Expr(e) => last = self.expr_ty(e),
+                Stmt::Item(item) => {
+                    self.walk_items(std::slice::from_ref(item), None, self.in_test);
+                }
+            }
+        }
+        self.env.pop();
+        last
+    }
+
+    fn expr_ty(&mut self, e: &Expr) -> Ty {
+        match &e.kind {
+            ExprKind::Lit(l) => match l {
+                Lit::Int(_) => Ty::RAW_INT,
+                Lit::Float => Ty::Float,
+                Lit::Bool(_) => Ty::Bool,
+                _ => Ty::Unknown,
+            },
+            ExprKind::Path(segs) => self.path_ty(segs),
+            ExprKind::Unary(inner) => self.expr_ty(inner),
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.expr_ty(lhs);
+                let rt = self.expr_ty(rhs);
+                self.arith_check(*op, None, lhs, rhs, &lt, &rt, e.span);
+                match op {
+                    BinOp::Cmp | BinOp::Logic => Ty::Bool,
+                    BinOp::Range => Ty::Unknown,
+                    BinOp::Bit => {
+                        if lt.is_int() {
+                            lt
+                        } else {
+                            Ty::Unknown
+                        }
+                    }
+                    _ => Self::arith_result(&lt, &rt),
+                }
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                let lt = self.expr_ty(lhs);
+                let rt = self.expr_ty(rhs);
+                if let Some(op) = op {
+                    self.arith_check(*op, Some(lhs), lhs, rhs, &lt, &rt, e.span);
+                }
+                Ty::Unknown
+            }
+            ExprKind::Call { callee, args } => self.call_ty(callee, args, e),
+            ExprKind::MethodCall { recv, name, args } => {
+                let rt = self.expr_ty(recv);
+                let ats: Vec<Ty> = args.iter().map(|a| self.expr_ty(a)).collect();
+                method_ret(self.sym, &rt, name, &ats)
+            }
+            ExprKind::Field {
+                recv,
+                name,
+                access_span,
+            } => self.field_ty(recv, name, *access_span),
+            ExprKind::Cast { expr, ty } => {
+                let et = self.expr_ty(expr);
+                match Ty::from_typeref(ty) {
+                    Ty::Int { .. } => Ty::Int { from: et.taint() },
+                    other => other,
+                }
+            }
+            ExprKind::Paren(inner) => self.expr_ty(inner),
+            ExprKind::Tuple(es) => Ty::Tuple(es.iter().map(|x| self.expr_ty(x)).collect()),
+            ExprKind::Array(es) => {
+                for x in es {
+                    self.expr_ty(x);
+                }
+                Ty::Unknown
+            }
+            ExprKind::Index { recv, idx } => {
+                let rt = self.expr_ty(recv);
+                self.expr_ty(idx);
+                elem_of(&rt)
+            }
+            ExprKind::Block(b) => self.block_ty(b),
+            ExprKind::If { cond, then, else_ } => {
+                self.expr_ty(cond);
+                self.block_ty(then);
+                if let Some(e2) = else_ {
+                    self.expr_ty(e2);
+                }
+                Ty::Unknown
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                let st = self.expr_ty(scrutinee);
+                self.check_match(&st, arms);
+                for arm in arms {
+                    self.env.push();
+                    self.bind_pat(&arm.pat, &st);
+                    if let Some(g) = &arm.guard {
+                        self.expr_ty(g);
+                    }
+                    self.expr_ty(&arm.body);
+                    self.env.pop();
+                }
+                Ty::Unknown
+            }
+            ExprKind::Loop { pat, head, body } => {
+                let ht = head.as_ref().map(|h| self.expr_ty(h));
+                self.env.push();
+                if let (Some(p), Some(h)) = (pat, &ht) {
+                    let elem = elem_of(h);
+                    self.bind_pat(p, &elem);
+                }
+                self.block_ty(body);
+                self.env.pop();
+                Ty::Unknown
+            }
+            ExprKind::Closure { params, body } => {
+                self.env.push();
+                for (pat, ty) in params {
+                    let t = ty.as_ref().map(Ty::from_typeref).unwrap_or(Ty::Unknown);
+                    self.bind_pat(pat, &t);
+                }
+                self.expr_ty(body);
+                self.env.pop();
+                Ty::Unknown
+            }
+            ExprKind::StructLit { path, fields, rest } => {
+                for (_, v) in fields {
+                    if let Some(v) = v {
+                        self.expr_ty(v);
+                    }
+                }
+                if let Some(r) = rest {
+                    self.expr_ty(r);
+                }
+                match path.last().map(|s| s.as_str()) {
+                    Some(last) => match UnitKind::from_name(last) {
+                        Some(k) => Ty::Unit(k),
+                        None => Ty::Named {
+                            name: last.to_string(),
+                            args: Vec::new(),
+                        },
+                    },
+                    None => Ty::Unknown,
+                }
+            }
+            ExprKind::MacroCall { args, .. } => {
+                for a in args {
+                    self.expr_ty(a);
+                }
+                Ty::Unknown
+            }
+            ExprKind::Jump(v) => {
+                if let Some(v) = v {
+                    self.expr_ty(v);
+                }
+                Ty::Unknown
+            }
+            ExprKind::Try(inner) => {
+                let t = self.expr_ty(inner);
+                match t {
+                    Ty::Named { ref name, ref args } if name == "Option" || name == "Result" => {
+                        args.first().cloned().unwrap_or(Ty::Unknown)
+                    }
+                    _ => Ty::Unknown,
+                }
+            }
+            ExprKind::RangeLit { lo, hi } => {
+                if let Some(l) = lo {
+                    self.expr_ty(l);
+                }
+                if let Some(h) = hi {
+                    self.expr_ty(h);
+                }
+                Ty::Unknown
+            }
+            ExprKind::Opaque => Ty::Unknown,
+        }
+    }
+
+    fn path_ty(&mut self, segs: &[String]) -> Ty {
+        match segs {
+            [one] => {
+                if one
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_')
+                {
+                    self.env.lookup(one)
+                } else if let Some(en) = self.sym.enum_of_variant(one) {
+                    Ty::Named {
+                        name: en.to_string(),
+                        args: Vec::new(),
+                    }
+                } else {
+                    self.env.lookup(one)
+                }
+            }
+            [.., t, last] => {
+                if let Some(ty) = self.sym.assoc_consts.get(&(t.clone(), last.clone())) {
+                    return Ty::from_typeref(ty);
+                }
+                if let Some(info) = self.sym.enums.get(t) {
+                    if info.variants.iter().any(|v| v == last) {
+                        return Ty::Named {
+                            name: t.clone(),
+                            args: Vec::new(),
+                        };
+                    }
+                }
+                if matches!(
+                    t.as_str(),
+                    "u8" | "u16"
+                        | "u32"
+                        | "u64"
+                        | "u128"
+                        | "usize"
+                        | "i8"
+                        | "i16"
+                        | "i32"
+                        | "i64"
+                        | "i128"
+                        | "isize"
+                ) {
+                    return Ty::RAW_INT;
+                }
+                Ty::Unknown
+            }
+            _ => Ty::Unknown,
+        }
+    }
+
+    fn call_ty(&mut self, callee: &Expr, args: &[Expr], whole: &Expr) -> Ty {
+        let ats: Vec<Ty> = args.iter().map(|a| self.expr_ty(a)).collect();
+        let ExprKind::Path(segs) = &callee.kind else {
+            self.expr_ty(callee);
+            return Ty::Unknown;
+        };
+        let last = segs.last().map(|s| s.as_str()).unwrap_or("");
+
+        // Unit tuple-struct construction: `Nanos(80)`.
+        if let Some(k) = UnitKind::from_name(last) {
+            self.check_u3(k, segs, args, whole);
+            return Ty::Unit(k);
+        }
+
+        // `Some(x)` / `Ok(x)` wrap their argument.
+        if matches!(last, "Some" | "Ok") && ats.len() == 1 {
+            let name = if last == "Some" { "Option" } else { "Result" };
+            return Ty::Named {
+                name: name.to_string(),
+                args: vec![ats[0].clone()],
+            };
+        }
+
+        if segs.len() >= 2 {
+            let t = &segs[segs.len() - 2];
+            // Associated function: `Nanos::from_micros(5)`.
+            if let Some(info) = self.sym.methods.get(&(t.clone(), last.to_string())) {
+                if !info.has_self {
+                    return Ty::from_typeref(&info.ret);
+                }
+            }
+            // Enum variant constructor: `Event::Arrival(f)`.
+            if let Some(info) = self.sym.enums.get(t) {
+                if info.variants.iter().any(|v| v == last) {
+                    return Ty::Named {
+                        name: t.clone(),
+                        args: Vec::new(),
+                    };
+                }
+            }
+        } else {
+            // Other tuple-struct constructors: `NodeId(3)`.
+            if let Some(info) = self.sym.structs.get(last) {
+                if !info.tuple_fields.is_empty() {
+                    return Ty::Named {
+                        name: last.to_string(),
+                        args: Vec::new(),
+                    };
+                }
+            }
+            if let Some(Some(ret)) = self.sym.free_fns.get(last) {
+                return Ty::from_typeref(ret);
+            }
+        }
+        Ty::Unknown
+    }
+
+    fn field_ty(&mut self, recv: &Expr, name: &str, access_span: Span) -> Ty {
+        let rt = self.expr_ty(recv);
+        if name.bytes().all(|b| b.is_ascii_digit()) {
+            let idx: usize = name.parse().unwrap_or(usize::MAX);
+            return match rt {
+                Ty::Unit(k) => {
+                    if self.u_on() {
+                        let fixable = self
+                            .sym
+                            .methods
+                            .get(&(k.name().to_string(), "as_u64".to_string()))
+                            .is_some_and(|m| m.has_self);
+                        let fix = fixable.then(|| Fix {
+                            span: access_span,
+                            replacement: ".as_u64()".to_string(),
+                        });
+                        self.push(
+                            Rule::U2,
+                            access_span,
+                            format!(
+                                "`.0` escapes the {} newtype into an untyped u64; \
+                                 use `.as_u64()` so the escape is named and auditable",
+                                k.name()
+                            ),
+                            fix,
+                        );
+                    }
+                    Ty::Int { from: Some(k) }
+                }
+                Ty::Named { name: n, .. } => self
+                    .sym
+                    .structs
+                    .get(&n)
+                    .and_then(|s| s.tuple_fields.get(idx))
+                    .map(Ty::from_typeref)
+                    .unwrap_or(Ty::Unknown),
+                Ty::Tuple(ts) => ts.get(idx).cloned().unwrap_or(Ty::Unknown),
+                _ => Ty::Unknown,
+            };
+        }
+        match rt {
+            Ty::Named { name: n, .. } => self
+                .sym
+                .structs
+                .get(&n)
+                .and_then(|s| s.fields.get(name))
+                .map(Ty::from_typeref)
+                .unwrap_or(Ty::Unknown),
+            _ => Ty::Unknown,
+        }
+    }
+
+    // ----- the rules ------------------------------------------------------
+
+    /// U3: raw-literal unit construction outside `units.rs`/`time.rs`.
+    fn check_u3(&mut self, k: UnitKind, segs: &[String], args: &[Expr], whole: &Expr) {
+        if !self.u3_on() || args.len() != 1 {
+            return;
+        }
+        let ExprKind::Lit(lit @ Lit::Int(_)) = &args[0].kind else {
+            return;
+        };
+        let lit_text = self.src_of(args[0].span).to_string();
+        let value = lit.int_value();
+        // Preserve any path qualifier (`dcsim::Bytes(..)` must become
+        // `dcsim::Bytes::ZERO`, not the possibly-unimported bare name).
+        let qual = if segs.len() > 1 {
+            format!("{}::", segs[..segs.len() - 1].join("::"))
+        } else {
+            String::new()
+        };
+        let replacement = format!("{qual}{}", self.unit_ctor(k, &lit_text, value));
+        let message = format!(
+            "raw literal construction `{}` bypasses the named unit \
+             constructors; write `{}` instead",
+            self.src_of(whole.span),
+            replacement
+        );
+        self.push(
+            Rule::U3,
+            whole.span,
+            message,
+            Some(Fix {
+                span: whole.span,
+                replacement,
+            }),
+        );
+    }
+
+    /// The named constructor a raw unit literal should use.
+    fn unit_ctor(&self, k: UnitKind, lit_text: &str, value: Option<u64>) -> String {
+        let has_zero = self
+            .sym
+            .assoc_consts
+            .contains_key(&(k.name().to_string(), "ZERO".to_string()));
+        if value == Some(0) && has_zero {
+            return format!("{}::ZERO", k.name());
+        }
+        match k {
+            UnitKind::Nanos => format!("Nanos::from_ns({lit_text})"),
+            UnitKind::Bytes => format!("Bytes::new({lit_text})"),
+            UnitKind::BitRate => format!("BitRate::from_bps({lit_text})"),
+        }
+    }
+
+    /// U1 (unit mixing) and O1 (overflow policy) on one binary/compound
+    /// arithmetic operation. `assign_to` is the target of `op=` forms.
+    #[allow(clippy::too_many_arguments)]
+    fn arith_check(
+        &mut self,
+        op: BinOp,
+        assign_to: Option<&Expr>,
+        lhs: &Expr,
+        rhs: &Expr,
+        lt: &Ty,
+        rt: &Ty,
+        span: Span,
+    ) {
+        if !op.is_arith() {
+            return;
+        }
+        let is_assign = assign_to.is_some();
+        let trait_name = op.trait_name().map(|t| {
+            if is_assign {
+                format!("{t}Assign")
+            } else {
+                t.to_string()
+            }
+        });
+
+        // U1: unit/raw mixing.
+        if self.u_on() {
+            let mix: Option<String> = match (lt, rt) {
+                (Ty::Unit(a), Ty::Unit(b)) if a != b => Some(format!(
+                    "`{}` {} `{}` mixes two different units",
+                    a.name(),
+                    op.describe(),
+                    b.name()
+                )),
+                (Ty::Unit(a), Ty::Int { .. }) => {
+                    let tn = trait_name.as_deref().unwrap_or("");
+                    if self.sym.has_op_impl(tn, a.name(), true) {
+                        None
+                    } else {
+                        Some(format!(
+                            "`{}` {} raw integer has no `{}<u64>` impl; convert \
+                             explicitly (named constructor or `.as_u64()`)",
+                            a.name(),
+                            op.describe(),
+                            tn
+                        ))
+                    }
+                }
+                (Ty::Int { .. }, Ty::Unit(a)) => Some(format!(
+                    "raw integer {} `{}` puts the unit on the wrong side; no \
+                     such operator impl exists",
+                    op.describe(),
+                    a.name()
+                )),
+                (Ty::Int { from: Some(a) }, Ty::Int { from: Some(b) }) if a != b => Some(format!(
+                    "mixes a u64 escaped from `{}` with one escaped from `{}`; \
+                     convert to a single unit before doing arithmetic",
+                    a.name(),
+                    b.name()
+                )),
+                _ => None,
+            };
+            if let Some(msg) = mix {
+                self.push(Rule::U1, span, msg, None);
+            }
+        }
+
+        // O1: unchecked `+` / `*` / `+=` / `*=` on u64 quantities.
+        if matches!(op, BinOp::Add | BinOp::Mul) && self.o1_on() {
+            let both_int = lt.is_int() && rt.is_int();
+            let tainted = lt.taint().is_some() || rt.taint().is_some();
+            if both_int && (self.o1_all() || tainted) {
+                let method = match op {
+                    BinOp::Add => "saturating_add",
+                    _ => "saturating_mul",
+                };
+                let rhs_src = self.src_of(rhs.span).to_string();
+                let fix = if let Some(target) = assign_to {
+                    let tgt = self.src_of(target.span).to_string();
+                    Some(Fix {
+                        span,
+                        replacement: format!("{tgt} = {tgt}.{method}({rhs_src})"),
+                    })
+                } else {
+                    Some(Fix {
+                        span,
+                        replacement: format!("{}.{method}({rhs_src})", self.wrapped(lhs)),
+                    })
+                };
+                let what = lt
+                    .taint()
+                    .or(rt.taint())
+                    .map(|k| format!("u64 {} quantity", k.name()))
+                    .unwrap_or_else(|| "u64 quantity".to_string());
+                self.push(
+                    Rule::O1,
+                    span,
+                    format!(
+                        "unchecked `{}{}` on a {} can overflow and corrupt the \
+                         simulation silently; use `{}`/`checked_{}` or add a \
+                         justified `simlint: allow(O1)`",
+                        op.describe(),
+                        if is_assign { "=" } else { "" },
+                        what,
+                        method,
+                        match op {
+                            BinOp::Add => "add",
+                            _ => "mul",
+                        },
+                    ),
+                    fix,
+                );
+            }
+        }
+    }
+
+    fn arith_result(lt: &Ty, rt: &Ty) -> Ty {
+        match (lt, rt) {
+            (Ty::Unit(a), Ty::Unit(b)) if a == b => Ty::Unit(*a),
+            (Ty::Unit(a), Ty::Int { .. }) | (Ty::Int { .. }, Ty::Unit(a)) => Ty::Unit(*a),
+            (Ty::Int { from: a }, Ty::Int { from: b }) => Ty::Int { from: a.or(*b) },
+            (Ty::Float, _) | (_, Ty::Float) => Ty::Float,
+            _ => Ty::Unknown,
+        }
+    }
+
+    /// E1: unguarded `_` arm in a match over a workspace enum.
+    fn check_match(&mut self, st: &Ty, arms: &[Arm]) {
+        if !self.e1_on() {
+            return;
+        }
+        let mut target: Option<String> = None;
+        if let Some(n) = named_of(st) {
+            if self.sym.enums.contains_key(n) {
+                target = Some(n.to_string());
+            }
+        }
+        if target.is_none() {
+            for arm in arms {
+                if let Some(en) = self.variant_enum(&arm.pat) {
+                    target = Some(en);
+                    break;
+                }
+            }
+        }
+        let Some(en) = target else { return };
+        let Some(info) = self.sym.enums.get(&en) else {
+            return;
+        };
+        if info.cfg_test {
+            return;
+        }
+        let variants = info.variants.join(", ");
+        for arm in arms {
+            if matches!(arm.pat, Pat::Wild) && arm.guard.is_none() {
+                // Arms carry only a line; synthesize a span at column 1.
+                let start = self.line_start(arm.line);
+                self.push(
+                    Rule::E1,
+                    Span {
+                        lo: start,
+                        hi: start,
+                    },
+                    format!(
+                        "wildcard `_` arm in a match over workspace enum `{en}` \
+                         silently swallows future variants; enumerate them \
+                         explicitly ({variants})"
+                    ),
+                    None,
+                );
+            }
+        }
+    }
+
+    fn line_start(&self, line: usize) -> usize {
+        self.index
+            .starts
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The workspace enum a pattern's variant reference resolves to.
+    fn variant_enum(&self, pat: &Pat) -> Option<String> {
+        let from_path = |segs: &[String]| -> Option<String> {
+            if segs.len() >= 2 {
+                let t = &segs[segs.len() - 2];
+                let last = &segs[segs.len() - 1];
+                if self
+                    .sym
+                    .enums
+                    .get(t)
+                    .is_some_and(|i| i.variants.iter().any(|v| v == last))
+                {
+                    return Some(t.clone());
+                }
+                None
+            } else if segs.len() == 1 && segs[0].chars().next().is_some_and(|c| c.is_uppercase()) {
+                self.sym.enum_of_variant(&segs[0]).map(|s| s.to_string())
+            } else {
+                None
+            }
+        };
+        match pat {
+            Pat::Path(segs) => from_path(segs),
+            Pat::TupleStruct { path, .. } => from_path(path),
+            Pat::Struct { path } => from_path(path),
+            Pat::Or(ps) | Pat::Tuple(ps) => ps.iter().find_map(|p| self.variant_enum(p)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::sym::Symbols;
+
+    /// A self-contained prelude defining the unit types the way the
+    /// workspace does, so single-file tests exercise real resolution.
+    const PRELUDE: &str = "\
+pub struct Nanos(pub u64);
+pub struct Bytes(pub u64);
+pub struct BitRate(pub u64);
+impl Nanos {
+    pub const ZERO: Nanos = Nanos(0);
+    pub fn as_u64(self) -> u64 { self.0 }
+    pub fn from_ns(ns: u64) -> Nanos { Nanos(ns) }
+}
+impl Bytes {
+    pub fn as_u64(self) -> u64 { self.0 }
+    pub fn new(b: u64) -> Bytes { Bytes(b) }
+}
+impl Mul<u64> for Nanos { fn mul(self, rhs: u64) -> Nanos { Nanos(self.0 * rhs) } }
+impl Add for Nanos { fn add(self, rhs: Nanos) -> Nanos { Nanos(self.0 + rhs.0) } }
+";
+
+    fn check(path: &str, body: &str) -> Vec<Finding> {
+        // The prelude lives in `units.rs` exactly like the workspace's
+        // real unit definitions, so it is exempt from U/O checks itself.
+        let (pf, _) = parse_file("crates/dcsim/src/units.rs", PRELUDE).expect("prelude parses");
+        let (bf, _) = parse_file(path, body).expect("test source parses");
+        let files = [pf, bf];
+        let sym = Symbols::build(&files);
+        check_file(&files[1], body, &sym)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+        let mut r: Vec<Rule> = findings.iter().map(|f| f.rule).collect();
+        r.sort();
+        r.dedup();
+        r
+    }
+
+    #[test]
+    fn u1_flags_unit_plus_raw_int() {
+        let f = check(
+            "crates/dcsim/src/engine.rs",
+            "fn f(t: Nanos) -> Nanos { t + 5 }\n",
+        );
+        assert_eq!(rules_of(&f), vec![Rule::U1]);
+    }
+
+    #[test]
+    fn u1_allows_impl_backed_scalar_ops() {
+        // `Nanos * u64` exists (`impl Mul<u64> for Nanos`), `Nanos + Nanos` too.
+        let f = check(
+            "crates/dcsim/src/engine.rs",
+            "fn f(t: Nanos, n: u64) -> Nanos { t * n + t }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn u1_flags_cross_unit_taint() {
+        let f = check(
+            "crates/dcsim/src/engine.rs",
+            "fn f(t: Nanos, b: Bytes) -> u64 { t.as_u64() + b.as_u64() }\n",
+        );
+        assert!(f.iter().any(|x| x.rule == Rule::U1), "{f:?}");
+    }
+
+    #[test]
+    fn u2_flags_newtype_escape_with_fix() {
+        let f = check(
+            "crates/netsim/src/network.rs",
+            "fn f(t: Nanos) -> u64 { t.0 }\n",
+        );
+        let u2: Vec<_> = f.iter().filter(|x| x.rule == Rule::U2).collect();
+        assert_eq!(u2.len(), 1, "{f:?}");
+        assert_eq!(
+            u2[0].fix.as_ref().expect("has fix").replacement,
+            ".as_u64()"
+        );
+    }
+
+    #[test]
+    fn u2_ignores_non_unit_tuple_fields() {
+        let f = check(
+            "crates/netsim/src/network.rs",
+            "pub struct NodeId(pub u64);\nfn f(n: NodeId) -> u64 { n.0 }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn u3_flags_raw_literal_ctor_and_maps_zero() {
+        let f = check(
+            "crates/dcsim/src/engine.rs",
+            "fn f() -> Nanos { Nanos(80) }\nfn g() -> Nanos { Nanos(0) }\n",
+        );
+        let u3: Vec<_> = f.iter().filter(|x| x.rule == Rule::U3).collect();
+        assert_eq!(u3.len(), 2, "{f:?}");
+        assert_eq!(
+            u3[0].fix.as_ref().expect("fix").replacement,
+            "Nanos::from_ns(80)"
+        );
+        assert_eq!(u3[1].fix.as_ref().expect("fix").replacement, "Nanos::ZERO");
+    }
+
+    #[test]
+    fn u3_exempt_in_cfg_test() {
+        let f = check(
+            "crates/dcsim/src/engine.rs",
+            "#[cfg(test)]\nmod tests {\n    fn f() -> Nanos { Nanos(80) }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn o1_flags_tainted_add_with_fix() {
+        let f = check(
+            "crates/dcsim/src/wheel.rs",
+            "fn f(t: Nanos, d: u64) -> u64 { t.as_u64() + d }\n",
+        );
+        let o1: Vec<_> = f.iter().filter(|x| x.rule == Rule::O1).collect();
+        assert_eq!(o1.len(), 1, "{f:?}");
+        assert_eq!(
+            o1[0].fix.as_ref().expect("fix").replacement,
+            "t.as_u64().saturating_add(d)"
+        );
+    }
+
+    #[test]
+    fn o1_ignores_untainted_counters_outside_unit_files() {
+        let f = check(
+            "crates/dcsim/src/wheel.rs",
+            "fn f(i: u64) -> u64 { i + 1 }\n",
+        );
+        assert!(f.iter().all(|x| x.rule != Rule::O1), "{f:?}");
+    }
+
+    #[test]
+    fn o1_compound_assign_fix() {
+        let f = check(
+            "crates/netsim/src/port.rs",
+            "fn f(total: u64, t: Nanos) -> u64 { let mut x = total; x += t.as_u64(); x }\n",
+        );
+        let o1: Vec<_> = f.iter().filter(|x| x.rule == Rule::O1).collect();
+        assert_eq!(o1.len(), 1, "{f:?}");
+        assert_eq!(
+            o1[0].fix.as_ref().expect("fix").replacement,
+            "x = x.saturating_add(t.as_u64())"
+        );
+    }
+
+    #[test]
+    fn o1_not_outside_hot_zone() {
+        let f = check(
+            "crates/cc-hpcc/src/lib.rs",
+            "fn f(t: Nanos, d: u64) -> u64 { t.as_u64() + d }\n",
+        );
+        assert!(f.iter().all(|x| x.rule != Rule::O1), "{f:?}");
+    }
+
+    #[test]
+    fn e1_flags_wildcard_over_workspace_enum() {
+        let f = check(
+            "crates/dcsim/src/engine.rs",
+            "pub enum SchedulerKind { Heap, Wheel }\n\
+             fn f(k: SchedulerKind) -> u64 {\n\
+                 match k { SchedulerKind::Heap => 1, _ => 0 }\n\
+             }\n",
+        );
+        let e1: Vec<_> = f.iter().filter(|x| x.rule == Rule::E1).collect();
+        assert_eq!(e1.len(), 1, "{f:?}");
+        assert!(e1[0].message.contains("SchedulerKind"));
+    }
+
+    #[test]
+    fn e1_ignores_option_and_guarded_wildcards() {
+        let f = check(
+            "crates/dcsim/src/engine.rs",
+            "fn f(x: Option<u64>) -> u64 { match x { Some(v) => v, _ => 0 } }\n\
+             pub enum K { A, B }\n\
+             fn g(k: K, c: bool) -> u64 {\n\
+                 match k { K::A => 1, K::B => 2, _ if c => 3 }\n\
+             }\n",
+        );
+        assert!(f.iter().all(|x| x.rule != Rule::E1), "{f:?}");
+    }
+
+    #[test]
+    fn shadowing_clears_unit_types() {
+        // `t` rebound by a pattern must not keep its outer Nanos type.
+        let f = check(
+            "crates/dcsim/src/engine.rs",
+            "fn f(t: Nanos, o: Option<u64>) -> u64 {\n\
+                 match o { Some(t) => t + 1, None => 0 }\n\
+             }\n",
+        );
+        assert!(f.iter().all(|x| x.rule != Rule::U1), "{f:?}");
+    }
+}

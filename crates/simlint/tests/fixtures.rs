@@ -5,7 +5,7 @@
 
 use std::path::Path;
 
-use simlint::{scan_source, scan_tree, Rule};
+use simlint::{analyze_files, fix_source_set, scan_source, scan_tree, Rule};
 
 fn fixture(name: &str) -> (String, String) {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -20,6 +20,23 @@ fn rules_of(name: &str) -> Vec<(Rule, usize)> {
     scan_source(&display, &src)
         .into_iter()
         .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+/// Load a fixture plus the shared unit definitions, run the full v1+v2
+/// pipeline, and return the findings attributed to the named fixture.
+fn v2_findings(name: &str) -> Vec<simlint::Finding> {
+    let files = vec![fixture("dcsim/units.rs"), fixture(name)];
+    let analysis = analyze_files(&files);
+    assert!(
+        analysis.parse_failures.is_empty(),
+        "{:?}",
+        analysis.parse_failures
+    );
+    analysis
+        .findings
+        .into_iter()
+        .filter(|f| f.path == name)
         .collect()
 }
 
@@ -72,12 +89,136 @@ fn clean_fixture_is_silent() {
 }
 
 #[test]
+fn u1_fixture_fires_on_every_mixing_direction() {
+    let got = v2_findings("bad_u1_mixed_arith.rs");
+    let lines: Vec<usize> = got.iter().map(|f| f.line).collect();
+    assert!(got.iter().all(|f| f.rule == Rule::U1), "{got:?}");
+    assert_eq!(lines, vec![7, 11, 15, 19], "{got:?}");
+    // Unit mixing has no mechanical rewrite: the right unit is a design
+    // decision, so U1 never offers a fix.
+    assert!(got.iter().all(|f| f.fix.is_none()));
+}
+
+#[test]
+fn u2_fixture_fires_and_offers_as_u64() {
+    let got = v2_findings("bad_u2_newtype_escape.rs");
+    assert_eq!(got.len(), 2, "{got:?}");
+    assert!(got.iter().all(|f| f.rule == Rule::U2));
+    assert!(got.iter().all(|f| {
+        f.fix
+            .as_ref()
+            .is_some_and(|fix| fix.replacement == ".as_u64()")
+    }));
+}
+
+#[test]
+fn u3_fixture_fires_and_offers_named_constructors() {
+    let got = v2_findings("bad_u3_raw_construction.rs");
+    assert_eq!(got.len(), 3, "{got:?}");
+    assert!(got.iter().all(|f| f.rule == Rule::U3));
+    let reps: Vec<&str> = got
+        .iter()
+        .map(|f| f.fix.as_ref().expect("U3 is fixable").replacement.as_str())
+        .collect();
+    assert_eq!(
+        reps,
+        vec![
+            "Nanos::ZERO",
+            "Bytes::new(1000)",
+            "BitRate::from_bps(100_000_000_000)"
+        ]
+    );
+}
+
+#[test]
+fn o1_fixture_fires_on_add_mul_and_compound_assign() {
+    let got = v2_findings("dcsim/bad_o1_overflow.rs");
+    assert_eq!(got.len(), 3, "{got:?}");
+    assert!(got.iter().all(|f| f.rule == Rule::O1 && f.fix.is_some()));
+    let reps: Vec<&str> = got
+        .iter()
+        .map(|f| f.fix.as_ref().expect("checked above").replacement.as_str())
+        .collect();
+    assert_eq!(
+        reps,
+        vec![
+            "now.as_u64().saturating_add(step.as_u64())",
+            "t.as_u64().saturating_mul(n)",
+            "total = total.saturating_add(t.as_u64())",
+        ]
+    );
+}
+
+#[test]
+fn e1_fixture_fires_only_on_the_unguarded_wildcard() {
+    let got = v2_findings("bad_e1_wildcard.rs");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].rule, Rule::E1);
+    assert_eq!(got[0].line, 13);
+    assert!(got[0].message.contains("Stock, Vai, VaiSf"));
+}
+
+#[test]
+fn s1_fixture_flags_the_stale_allow_with_a_deletion_fix() {
+    let got = v2_findings("bad_s1_stale_allow.rs");
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].rule, Rule::S1);
+    let fix = got[0].fix.as_ref().expect("S1 deletes the comment");
+    assert!(fix.replacement.is_empty());
+}
+
+#[test]
+fn clean_units_fixture_is_silent() {
+    assert!(v2_findings("clean_units_ok.rs").is_empty());
+}
+
+#[test]
+fn parse_error_fixture_reports_a_failure_not_findings() {
+    let files = vec![fixture("parse_error.rs")];
+    let analysis = analyze_files(&files);
+    assert_eq!(analysis.parse_failures.len(), 1);
+    assert_eq!(analysis.parse_failures[0].path, "parse_error.rs");
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+}
+
+#[test]
+fn autofix_converges_and_is_idempotent() {
+    // One pass of fix_source_set must clear every fixable finding; a
+    // second pass must be a no-op (this is what CI's `--fix && git diff
+    // --exit-code` step relies on).
+    let mut files = vec![
+        fixture("dcsim/units.rs"),
+        fixture("bad_u2_newtype_escape.rs"),
+        fixture("bad_u3_raw_construction.rs"),
+        fixture("dcsim/bad_o1_overflow.rs"),
+        fixture("bad_s1_stale_allow.rs"),
+    ];
+    let applied = fix_source_set(&mut files);
+    assert!(
+        applied >= 9,
+        "expected all fixable findings fixed: {applied}"
+    );
+
+    let after = analyze_files(&files);
+    assert!(
+        after.findings.iter().all(|f| f.fix.is_none()),
+        "fixable findings survived --fix: {:?}",
+        after.findings
+    );
+
+    let snapshot = files.clone();
+    let again = fix_source_set(&mut files);
+    assert_eq!(again, 0, "second --fix pass must change nothing");
+    assert_eq!(files, snapshot);
+}
+
+#[test]
 fn scanning_the_fixture_tree_reports_every_bad_file() {
     // Pointing the walker directly at fixtures/ (as CI does to prove the
     // nonzero exit path) must reproduce all of the above findings.
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
     let (findings, scanned) = scan_tree(&root).expect("fixtures dir scans");
-    assert_eq!(scanned, 7, "all fixture files scanned");
+    assert_eq!(scanned, 16, "all fixture files scanned");
     let bad_files: std::collections::BTreeSet<&str> =
         findings.iter().map(|f| f.path.as_str()).collect();
     assert_eq!(
@@ -88,6 +229,12 @@ fn scanning_the_fixture_tree_reports_every_bad_file() {
             "bad_d3_randomness.rs",
             "bad_d4_lossy_cast.rs",
             "bad_d5_unwrap.rs",
+            "bad_e1_wildcard.rs",
+            "bad_s1_stale_allow.rs",
+            "bad_u1_mixed_arith.rs",
+            "bad_u2_newtype_escape.rs",
+            "bad_u3_raw_construction.rs",
+            "dcsim/bad_o1_overflow.rs",
         ]
     );
 }
@@ -96,9 +243,22 @@ fn scanning_the_fixture_tree_reports_every_bad_file() {
 fn simlint_scans_its_own_source_cleanly() {
     // The scanner's own crate (pattern strings, fixture literals in tests)
     // must not self-flag: rule tokens live inside string literals, which
-    // the lexer strips before matching.
+    // the lexer strips before matching. Paths are re-prefixed with the
+    // crate's workspace location so rule scoping sees the files exactly
+    // as the workspace scan does (the analyzer's own tolerant wildcard
+    // matches are Support-scope, where E1 deliberately does not apply).
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let (findings, scanned) = scan_tree(root).expect("crate scans");
-    assert!(scanned >= 3, "lib, main, tests scanned");
-    assert!(findings.is_empty(), "{findings:?}");
+    let files: Vec<(String, String)> = simlint::read_tree(root)
+        .expect("crate scans")
+        .into_iter()
+        .map(|(path, src)| (format!("crates/simlint/{path}"), src))
+        .collect();
+    assert!(files.len() >= 3, "lib, main, tests scanned");
+    let analysis = analyze_files(&files);
+    assert!(
+        analysis.parse_failures.is_empty(),
+        "{:?}",
+        analysis.parse_failures
+    );
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
 }

@@ -1,26 +1,51 @@
 //! Tier-1 gate: the workspace must stay clean under its own static
-//! analysis pass. Equivalent to `cargo run -p simlint` exiting 0, but
-//! enforced by `cargo test` so a violating change cannot land even when
-//! the CI lint job is skipped.
+//! analysis pass — the v1 line rules (D1–D5) and the v2 semantic rules
+//! (U1–U3, O1, E1, S1) — and every file must be parseable by the v2
+//! parser. Equivalent to `cargo run -p simlint` exiting 0, but enforced
+//! by `cargo test` so a violating change cannot land even when the CI
+//! lint job is skipped.
 
 use std::path::Path;
 
 #[test]
 fn workspace_has_no_simlint_findings() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let (findings, scanned) = simlint::scan_tree(root).expect("workspace tree scans");
+    let analysis = simlint::analyze_tree(root).expect("workspace tree scans");
     assert!(
-        scanned > 50,
-        "suspiciously few files scanned ({scanned}) — walker broken?"
+        analysis.scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        analysis.scanned
     );
     assert!(
-        findings.is_empty(),
+        analysis.parse_failures.is_empty(),
+        "simlint could not parse {} file(s):\n{}",
+        analysis.parse_failures.len(),
+        analysis
+            .parse_failures
+            .iter()
+            .map(|e| format!("{}:{}: {}", e.path, e.line, e.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        analysis.findings.is_empty(),
         "simlint found {} violation(s):\n{}",
-        findings.len(),
-        findings
+        analysis.findings.len(),
+        analysis
+            .findings
             .iter()
             .map(|f| f.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+#[test]
+fn workspace_autofix_is_a_no_op() {
+    // A clean tree must stay byte-identical under `--fix`; CI asserts
+    // the same with `git diff --exit-code`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = simlint::read_tree(root).expect("workspace tree reads");
+    let applied = simlint::fix_source_set(&mut files);
+    assert_eq!(applied, 0, "clean workspace should need no fixes");
 }
