@@ -10,7 +10,11 @@
 //!   32-host fat-tree).
 //!
 //! Each entry reports wall time, events dispatched, and events/sec; the
-//! top level records the wheel/heap speedup per workload. Usage:
+//! top level records the wheel/heap speedup per workload. When built with
+//! `--features trace` the incast/fat-tree entries also report the
+//! scheduler occupancy high-water mark (`occupancy_hwm`), and the report
+//! carries `trace_instrumented: true` so regression tooling knows the
+//! numbers include the instrumented build's overhead. Usage:
 //!
 //! ```text
 //! perfbase [--out PATH] [--seed N]
@@ -19,7 +23,9 @@
 use std::time::Instant;
 
 use dcsim::{DetRng, EventQueue, Nanos, Scheduler, SchedulerKind, TimingWheel};
-use fairsim::{CcSpec, DatacenterScenario, IncastScenario, ProtocolKind, Variant};
+use fairsim::{
+    CcSpec, DatacenterScenario, IncastScenario, ProtocolKind, RunCtx, Scenario, Variant,
+};
 use minijson::{obj, Value};
 
 /// Timers alive at once in the dense-timer workload.
@@ -73,15 +79,23 @@ fn dense_timer<S: Scheduler<u32> + Default>() -> u64 {
     DENSE_CHURN + DENSE_LIVE as u64
 }
 
-fn incast(scheduler: SchedulerKind, seed: u64) -> u64 {
-    let mut sc = IncastScenario::paper(16, CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf), seed);
-    sc.scheduler = scheduler;
-    let res = sc.run();
-    assert!(res.all_finished, "incast must drain");
-    res.events_handled
+/// Events dispatched and scheduler occupancy high-water mark of one run.
+struct RunStats {
+    events: u64,
+    occupancy_hwm: u64,
 }
 
-fn fat_tree(scheduler: SchedulerKind, seed: u64) -> u64 {
+fn incast(scheduler: SchedulerKind, seed: u64) -> RunStats {
+    let sc = IncastScenario::paper(16, CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf), seed);
+    let res = sc.run_with(&RunCtx::new(seed).with_scheduler(scheduler));
+    assert!(res.all_finished, "incast must drain");
+    RunStats {
+        events: res.events_handled,
+        occupancy_hwm: res.occupancy_hwm,
+    }
+}
+
+fn fat_tree(scheduler: SchedulerKind, seed: u64) -> RunStats {
     let mut sc = DatacenterScenario::reduced(
         vec![workloads::distributions::FB_HADOOP.to_string()],
         CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
@@ -90,10 +104,12 @@ fn fat_tree(scheduler: SchedulerKind, seed: u64) -> u64 {
     // Half a millisecond of arrivals keeps the baseline itself fast while
     // still exercising the full fat-tree event mix.
     sc.horizon = Nanos::from_micros(500);
-    sc.scheduler = scheduler;
-    let res = sc.run();
+    let res = sc.run_with(&RunCtx::new(seed).with_scheduler(scheduler));
     assert!(res.completed > 0, "fat-tree run must complete flows");
-    res.events_handled
+    RunStats {
+        events: res.events_handled,
+        occupancy_hwm: res.occupancy_hwm,
+    }
 }
 
 fn main() {
@@ -126,14 +142,22 @@ fn main() {
         i += 1;
     }
 
-    type Runner = Box<dyn Fn(SchedulerKind) -> u64>;
+    type Runner = Box<dyn Fn(SchedulerKind) -> RunStats>;
     let workloads: Vec<(&str, usize, Runner)> = vec![
         (
             "dense-timer",
             3,
-            Box::new(|k| match k {
-                SchedulerKind::Heap => dense_timer::<EventQueue<u32>>(),
-                SchedulerKind::Wheel => dense_timer::<TimingWheel<u32>>(),
+            Box::new(|k| {
+                // The raw scheduler loop has no Simulation wrapper, so it
+                // reports its (known) steady-state population directly.
+                let events = match k {
+                    SchedulerKind::Heap => dense_timer::<EventQueue<u32>>(),
+                    SchedulerKind::Wheel => dense_timer::<TimingWheel<u32>>(),
+                };
+                RunStats {
+                    events,
+                    occupancy_hwm: u64::from(DENSE_LIVE),
+                }
             }),
         ),
         ("incast", 2, Box::new(move |k| incast(k, seed))),
@@ -142,8 +166,17 @@ fn main() {
 
     let mut entries = Vec::new();
     for (name, passes, runner) in &workloads {
-        let heap = measure(*passes, || runner(SchedulerKind::Heap));
-        let wheel = measure(*passes, || runner(SchedulerKind::Wheel));
+        let mut occupancy_hwm = 0u64;
+        let heap = measure(*passes, || {
+            let stats = runner(SchedulerKind::Heap);
+            occupancy_hwm = occupancy_hwm.max(stats.occupancy_hwm);
+            stats.events
+        });
+        let wheel = measure(*passes, || {
+            let stats = runner(SchedulerKind::Wheel);
+            occupancy_hwm = occupancy_hwm.max(stats.occupancy_hwm);
+            stats.events
+        });
         assert_eq!(
             heap.events, wheel.events,
             "{name}: schedulers must dispatch identical event counts"
@@ -157,6 +190,7 @@ fn main() {
         entries.push(obj([
             ("name", Value::from(*name)),
             ("events", Value::from(heap.events)),
+            ("occupancy_hwm", Value::from(occupancy_hwm)),
             ("heap", heap.to_value()),
             ("wheel", wheel.to_value()),
             ("wheel_speedup_over_heap", Value::from(speedup)),
@@ -166,6 +200,7 @@ fn main() {
     let report = obj([
         ("schema", Value::from("BENCH_engine/v1")),
         ("seed", Value::from(seed)),
+        ("trace_instrumented", Value::from(simtrace::ENABLED)),
         ("dense_live_timers", Value::from(u64::from(DENSE_LIVE))),
         ("workloads", Value::Arr(entries)),
     ]);

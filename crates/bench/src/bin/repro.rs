@@ -20,9 +20,16 @@
 //! and the fat-tree simulations at reduced scale (see DESIGN.md);
 //! `--full-scale` switches the fat-tree runs to the paper's 320 hosts and
 //! 50 ms (very slow).
+//!
+//! `--trace DIR` writes per-variant trace artifacts under `DIR`
+//! (`<figure>.<variant>.trace.jsonl`, `.chrome.json` for Perfetto, and
+//! `.metrics.json`); `--trace-filter SUB` (repeatable) restricts event
+//! collection to the named subsystems (engine/port/flow/cc/pfc). The
+//! binary must be built with `--features trace` for events to be
+//! recorded; without it `--trace` still runs but emits a warning.
 
-use bench::{run_figure, run_figure_json, Scale, ALL_FIGURES, DEFAULT_SEED};
-use fairsim::SchedulerKind;
+use bench::{run_figure, run_figure_json, FigureCtx, Scale, ALL_FIGURES, DEFAULT_SEED};
+use fairsim::{SchedulerKind, TraceConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +37,8 @@ fn main() {
     let mut seed = DEFAULT_SEED;
     let mut json = false;
     let mut scheduler = SchedulerKind::default();
+    let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut trace_cfg = TraceConfig::full();
     let mut figures: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -50,6 +59,21 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--scheduler needs 'heap' or 'wheel'"));
+            }
+            "--trace" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--trace needs a directory path"));
+                trace_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--trace-filter" => {
+                i += 1;
+                let sub = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--trace-filter needs engine|port|flow|cc|pfc"));
+                trace_cfg = trace_cfg.with_filter(sub);
             }
             "list" => {
                 for f in ALL_FIGURES {
@@ -75,11 +99,24 @@ fn main() {
         std::process::exit(2);
     }
 
+    if trace_dir.is_some() && !simtrace::ENABLED {
+        eprintln!(
+            "repro: warning: built without the `trace` feature; --trace will \
+             record nothing (rebuild with `--features trace`)"
+        );
+    }
+
+    let mut ctx = FigureCtx::new(scale, seed).with_scheduler(scheduler);
+    if trace_dir.is_some() {
+        ctx = ctx.with_trace(trace_cfg, trace_dir);
+    }
+
     for f in &figures {
+        let fig_ctx = ctx.clone().with_tag(f);
         let output = if json {
-            run_figure_json(f, scale, seed, scheduler)
+            run_figure_json(f, &fig_ctx)
         } else {
-            run_figure(f, scale, seed, scheduler)
+            run_figure(f, &fig_ctx)
         };
         match output {
             Some(output) => println!("{output}"),
@@ -94,9 +131,11 @@ fn main() {
 fn print_usage() {
     eprintln!(
         "usage: repro <figure>... [--full-scale] [--seed N] [--json] \
-         [--scheduler heap|wheel] | repro all | repro list"
+         [--scheduler heap|wheel] [--trace DIR] [--trace-filter SUB]... \
+         | repro all | repro list"
     );
     eprintln!("figures: {}", ALL_FIGURES.join(" "));
+    eprintln!("trace subsystems: engine port flow cc pfc");
 }
 
 fn die(msg: &str) -> ! {

@@ -15,7 +15,7 @@ use fairsim::scenarios::LONG_FLOW_BYTES;
 use fairsim::series::thin;
 use fairsim::{
     CcSpec, DatacenterResult, DatacenterScenario, IncastResult, IncastScenario, ProtocolKind,
-    SchedulerKind, Variant,
+    RunCtx, Scenario, SchedulerKind, TraceConfig, TraceLevel, Tracer, Variant,
 };
 use netsim::FatTreeConfig;
 use workloads::distributions;
@@ -32,65 +32,196 @@ pub enum Scale {
 /// Default seed used by the harness (override with `--seed`).
 pub const DEFAULT_SEED: u64 = 42;
 
-fn run_incasts(
-    specs: &[CcSpec],
-    senders: usize,
-    seed: u64,
-    scheduler: SchedulerKind,
-) -> Vec<IncastResult> {
+/// Everything a figure function needs besides its own workload: the
+/// datacenter scale, the root seed, the scheduler backend, the trace
+/// configuration, and where (if anywhere) to write trace artifacts.
+///
+/// Replaces the old `(scale, seed, scheduler)` parameter triples so new
+/// run-wide knobs stop multiplying every signature in this crate.
+#[derive(Debug, Clone)]
+pub struct FigureCtx {
+    /// Datacenter experiment scale.
+    pub scale: Scale,
+    /// Root seed (override with `--seed`).
+    pub seed: u64,
+    /// Event scheduler backing every run.
+    pub scheduler: SchedulerKind,
+    /// Trace/metrics collection level.
+    pub trace: TraceConfig,
+    /// Directory for per-variant trace artifacts; `None` discards traces.
+    pub trace_dir: Option<std::path::PathBuf>,
+    /// Tag prefixed to trace artifact file names (usually the figure name).
+    pub tag: String,
+}
+
+impl FigureCtx {
+    /// A context with the given scale and seed, default scheduler, and
+    /// tracing off.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        FigureCtx {
+            scale,
+            seed,
+            scheduler: SchedulerKind::default(),
+            trace: TraceConfig::off(),
+            trace_dir: None,
+            tag: String::new(),
+        }
+    }
+
+    /// Select the event-scheduler backend.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Enable tracing at the given level, writing artifacts to `dir`.
+    pub fn with_trace(mut self, trace: TraceConfig, dir: Option<std::path::PathBuf>) -> Self {
+        self.trace = trace;
+        self.trace_dir = dir;
+        self
+    }
+
+    /// Set the artifact file-name tag (chainable; the harness sets the
+    /// figure name before each figure).
+    pub fn with_tag(mut self, tag: &str) -> Self {
+        self.tag = tag.to_string();
+        self
+    }
+
+    /// The per-run context handed to [`fairsim::Scenario::run_with`].
+    pub fn run_ctx(&self) -> RunCtx {
+        RunCtx::new(self.seed)
+            .with_scheduler(self.scheduler)
+            .with_trace(self.trace)
+    }
+}
+
+/// Join a scenario thread, labeling any panic with the variant that
+/// raised it (a bare `expect` would lose which of the parallel variants
+/// failed).
+fn join_labeled<T>(handle: std::thread::ScopedJoinHandle<'_, T>, label: &str) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            panic!("scenario '{label}' panicked: {msg}");
+        }
+    }
+}
+
+/// File-name slug for a variant label: lowercase alphanumerics, runs of
+/// anything else collapsed to `-`.
+fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// Write a run's trace artifacts under `ctx.trace_dir`:
+/// `<tag>.<label>.trace.jsonl` (structured events),
+/// `<tag>.<label>.chrome.json` (Perfetto-loadable), and
+/// `<tag>.<label>.metrics.json` (counters + histograms).
+fn write_trace_artifacts(ctx: &FigureCtx, label: &str, tracer: &Tracer) {
+    let Some(dir) = &ctx.trace_dir else { return };
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create trace dir {}: {e}", dir.display()));
+    let stem = if ctx.tag.is_empty() {
+        slug(label)
+    } else {
+        format!("{}.{}", ctx.tag, slug(label))
+    };
+    let write = |suffix: &str, body: String| {
+        let path = dir.join(format!("{stem}.{suffix}"));
+        std::fs::write(&path, body)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    };
+    if tracer.config().level == TraceLevel::Full {
+        write("trace.jsonl", tracer.to_jsonl());
+        write("chrome.json", tracer.to_chrome());
+    }
+    write(
+        "metrics.json",
+        format!("{}\n", tracer.metrics().to_value().pretty()),
+    );
+}
+
+/// Write artifacts for every traced result in a batch.
+fn write_batch_traces<'a>(
+    ctx: &FigureCtx,
+    results: impl IntoIterator<Item = (&'a str, &'a Option<Tracer>)>,
+) {
+    for (label, trace) in results {
+        if let Some(tracer) = trace {
+            write_trace_artifacts(ctx, label, tracer);
+        }
+    }
+}
+
+fn run_incasts(specs: &[CcSpec], senders: usize, ctx: &FigureCtx) -> Vec<IncastResult> {
+    let rctx = ctx.run_ctx();
     // Variants are independent: run them on scoped threads.
-    std::thread::scope(|s| {
+    let results: Vec<IncastResult> = std::thread::scope(|s| {
         let handles: Vec<_> = specs
             .iter()
             .map(|&cc| {
-                s.spawn(move || {
-                    let mut sc = IncastScenario::paper(senders, cc, seed);
-                    sc.scheduler = scheduler;
-                    sc.run()
-                })
+                (
+                    cc.label(),
+                    s.spawn(move || IncastScenario::paper(senders, cc, rctx.seed).run_with(&rctx)),
+                )
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("scenario thread"))
+            .map(|(label, h)| join_labeled(h, &label))
             .collect()
-    })
+    });
+    write_batch_traces(ctx, results.iter().map(|r| (r.label.as_str(), &r.trace)));
+    results
 }
 
 fn run_datacenters(
     specs: &[CcSpec],
     workload_names: &[&str],
-    scale: Scale,
-    seed: u64,
-    scheduler: SchedulerKind,
+    ctx: &FigureCtx,
 ) -> Vec<DatacenterResult> {
+    let rctx = ctx.run_ctx();
     let make = |cc: CcSpec| {
         let names: Vec<String> = workload_names.iter().map(|s| s.to_string()).collect();
-        let mut sc = match scale {
-            Scale::Reduced => DatacenterScenario::reduced(names, cc, seed),
+        match ctx.scale {
+            Scale::Reduced => DatacenterScenario::reduced(names, cc, rctx.seed),
             Scale::Full => DatacenterScenario {
                 fat_tree: FatTreeConfig::paper(),
                 workloads: names,
                 load: 0.5,
                 horizon: Nanos::from_millis(50),
                 cc,
-                seed,
-                scheduler: SchedulerKind::default(),
+                seed: rctx.seed,
+                scheduler: rctx.scheduler,
             },
-        };
-        sc.scheduler = scheduler;
-        sc
+        }
     };
-    std::thread::scope(|s| {
+    let results: Vec<DatacenterResult> = std::thread::scope(|s| {
         let handles: Vec<_> = specs
             .iter()
-            .map(|&cc| s.spawn(move || make(cc).run()))
+            .map(|&cc| (cc.label(), s.spawn(move || make(cc).run_with(&rctx))))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("scenario thread"))
+            .map(|(label, h)| join_labeled(h, &label))
             .collect()
-    })
+    });
+    write_batch_traces(ctx, results.iter().map(|r| (r.label.as_str(), &r.trace)));
+    results
 }
 
 /// The variant set the paper's incast figures compare, per protocol.
@@ -220,10 +351,10 @@ fn render_start_finish(title: &str, results: &[IncastResult]) -> String {
 
 /// Figure 1: Jain index and queue depth, 16-1 incast, HPCC and Swift
 /// baselines (default / 1 Gbps AI / probabilistic).
-pub fn fig1(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn fig1(ctx: &FigureCtx) -> String {
     let mut out = String::new();
     for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift] {
-        let results = run_incasts(&incast_specs(kind, false), 16, seed, scheduler);
+        let results = run_incasts(&incast_specs(kind, false), 16, ctx);
         let name = if kind == ProtocolKind::Hpcc {
             "Fig 1(a,b): 16-1 incast, HPCC"
         } else {
@@ -236,24 +367,14 @@ pub fn fig1(seed: u64, scheduler: SchedulerKind) -> String {
 }
 
 /// Figure 2: start vs finish, 16-1 staggered incast, HPCC baselines.
-pub fn fig2(seed: u64, scheduler: SchedulerKind) -> String {
-    let results = run_incasts(
-        &incast_specs(ProtocolKind::Hpcc, false),
-        16,
-        seed,
-        scheduler,
-    );
+pub fn fig2(ctx: &FigureCtx) -> String {
+    let results = run_incasts(&incast_specs(ProtocolKind::Hpcc, false), 16, ctx);
     render_start_finish("Fig 2: start vs finish, 16-1 incast, HPCC", &results)
 }
 
 /// Figure 3: start vs finish, 16-1 staggered incast, Swift baselines.
-pub fn fig3(seed: u64, scheduler: SchedulerKind) -> String {
-    let results = run_incasts(
-        &incast_specs(ProtocolKind::Swift, false),
-        16,
-        seed,
-        scheduler,
-    );
+pub fn fig3(ctx: &FigureCtx) -> String {
+    let results = run_incasts(&incast_specs(ProtocolKind::Swift, false), 16, ctx);
     render_start_finish("Fig 3: start vs finish, 16-1 incast, Swift", &results)
 }
 
@@ -291,15 +412,10 @@ pub fn fig4() -> String {
 }
 
 /// Figure 5: 16-1 and 96-1 incast with HPCC variants including VAI SF.
-pub fn fig5(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn fig5(ctx: &FigureCtx) -> String {
     let mut out = String::new();
     for (senders, tag) in [(16, "(a,b)"), (96, "(c,d)")] {
-        let results = run_incasts(
-            &incast_specs(ProtocolKind::Hpcc, true),
-            senders,
-            seed,
-            scheduler,
-        );
+        let results = run_incasts(&incast_specs(ProtocolKind::Hpcc, true), senders, ctx);
         out.push_str(&render_jain_queue(
             &format!("Fig 5{tag}: {senders}-1 incast, HPCC"),
             &results,
@@ -311,15 +427,10 @@ pub fn fig5(seed: u64, scheduler: SchedulerKind) -> String {
 }
 
 /// Figure 6: 16-1 and 96-1 incast with Swift variants including VAI SF.
-pub fn fig6(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn fig6(ctx: &FigureCtx) -> String {
     let mut out = String::new();
     for (senders, tag) in [(16, "(a,b)"), (96, "(c,d)")] {
-        let results = run_incasts(
-            &incast_specs(ProtocolKind::Swift, true),
-            senders,
-            seed,
-            scheduler,
-        );
+        let results = run_incasts(&incast_specs(ProtocolKind::Swift, true), senders, ctx);
         out.push_str(&render_jain_queue(
             &format!("Fig 6{tag}: {senders}-1 incast, Swift"),
             &results,
@@ -331,12 +442,12 @@ pub fn fig6(seed: u64, scheduler: SchedulerKind) -> String {
 }
 
 /// Figure 8: start vs finish, HPCC default vs VAI SF.
-pub fn fig8(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn fig8(ctx: &FigureCtx) -> String {
     let specs = [
         CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
         CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
     ];
-    let results = run_incasts(&specs, 16, seed, scheduler);
+    let results = run_incasts(&specs, 16, ctx);
     render_start_finish(
         "Fig 8: start vs finish, 16-1 incast, HPCC vs HPCC VAI SF",
         &results,
@@ -344,12 +455,12 @@ pub fn fig8(seed: u64, scheduler: SchedulerKind) -> String {
 }
 
 /// Figure 9: start vs finish, Swift default vs VAI SF.
-pub fn fig9(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn fig9(ctx: &FigureCtx) -> String {
     let specs = [
         CcSpec::new(ProtocolKind::Swift, Variant::Default),
         CcSpec::new(ProtocolKind::Swift, Variant::VaiSf),
     ];
-    let results = run_incasts(&specs, 16, seed, scheduler);
+    let results = run_incasts(&specs, 16, ctx);
     render_start_finish(
         "Fig 9: start vs finish, 16-1 incast, Swift vs Swift VAI SF",
         &results,
@@ -449,14 +560,8 @@ fn render_slowdown(title: &str, results: &[DatacenterResult], median: bool, rows
 }
 
 /// Figure 10: 99.9% FCT slowdown vs flow size, Hadoop traffic.
-pub fn fig10(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
-    let results = run_datacenters(
-        &datacenter_specs(),
-        &[distributions::FB_HADOOP],
-        scale,
-        seed,
-        scheduler,
-    );
+pub fn fig10(ctx: &FigureCtx) -> String {
+    let results = run_datacenters(&datacenter_specs(), &[distributions::FB_HADOOP], ctx);
     render_slowdown(
         "Fig 10: 99.9% FCT slowdown, Hadoop traffic",
         &results,
@@ -466,13 +571,11 @@ pub fn fig10(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
 }
 
 /// Figure 11: 99.9% FCT slowdown, WebSearch + Alibaba storage mix.
-pub fn fig11(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
+pub fn fig11(ctx: &FigureCtx) -> String {
     let results = run_datacenters(
         &datacenter_specs(),
         &[distributions::WEBSEARCH, distributions::ALI_STORAGE],
-        scale,
-        seed,
-        scheduler,
+        ctx,
     );
     render_slowdown(
         "Fig 11: 99.9% FCT slowdown, WebSearch + Storage traffic",
@@ -483,14 +586,8 @@ pub fn fig11(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
 }
 
 /// Figure 12: median FCT slowdown, Hadoop traffic.
-pub fn fig12(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
-    let results = run_datacenters(
-        &datacenter_specs(),
-        &[distributions::FB_HADOOP],
-        scale,
-        seed,
-        scheduler,
-    );
+pub fn fig12(ctx: &FigureCtx) -> String {
+    let results = run_datacenters(&datacenter_specs(), &[distributions::FB_HADOOP], ctx);
     render_slowdown(
         "Fig 12: median FCT slowdown, Hadoop traffic",
         &results,
@@ -500,13 +597,11 @@ pub fn fig12(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
 }
 
 /// Figure 13: median FCT slowdown, WebSearch + Storage mix.
-pub fn fig13(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
+pub fn fig13(ctx: &FigureCtx) -> String {
     let results = run_datacenters(
         &datacenter_specs(),
         &[distributions::WEBSEARCH, distributions::ALI_STORAGE],
-        scale,
-        seed,
-        scheduler,
+        ctx,
     );
     render_slowdown(
         "Fig 13: median FCT slowdown, WebSearch + Storage traffic",
@@ -517,14 +612,14 @@ pub fn fig13(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
 }
 
 /// Ablation: VAI alone vs SF alone vs both (16-1 incast, HPCC).
-pub fn ablation_mechanisms(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn ablation_mechanisms(ctx: &FigureCtx) -> String {
     let specs = [
         CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
         CcSpec::new(ProtocolKind::Hpcc, Variant::Vai),
         CcSpec::new(ProtocolKind::Hpcc, Variant::Sf),
         CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
     ];
-    let results = run_incasts(&specs, 16, seed, scheduler);
+    let results = run_incasts(&specs, 16, ctx);
     render_jain_queue(
         "Ablation: VAI / SF / VAI+SF, 16-1 incast, HPCC",
         &results,
@@ -535,16 +630,11 @@ pub fn ablation_mechanisms(seed: u64, scheduler: SchedulerKind) -> String {
 /// Run the paper's staggered incast with a *custom* per-flow CC factory
 /// (for ablations that tweak parameters the `Variant` enum does not
 /// expose). Returns the same [`IncastResult`] the stock scenarios yield.
-fn run_incast_custom<F>(
-    senders: usize,
-    seed: u64,
-    scheduler: SchedulerKind,
-    label: &str,
-    make_cc: F,
-) -> IncastResult
+fn run_incast_custom<F>(senders: usize, ctx: &FigureCtx, label: &str, make_cc: F) -> IncastResult
 where
     F: Fn(u64) -> Box<dyn faircc::CongestionControl>,
 {
+    let seed = ctx.seed;
     let sc = IncastScenario::paper(
         senders,
         CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
@@ -565,6 +655,7 @@ where
             track_flow_rates: true,
         },
     );
+    net.set_tracer(Tracer::new(ctx.trace));
     let bottleneck = net.port_towards(switch, hosts[senders]).expect("port");
     net.monitor.cfg.watch_ports = vec![bottleneck];
     for (i, f) in workloads::staggered_incast(&sc.incast).iter().enumerate() {
@@ -578,7 +669,15 @@ where
             make_cc(seed.wrapping_mul(1009).wrapping_add(i as u64)),
         );
     }
-    let (net, events_handled) = run_primed(net, sc.horizon, scheduler);
+    let (mut net, events_handled, occupancy_hwm) = run_primed(net, sc.horizon, ctx.scheduler);
+    let trace = if simtrace::ENABLED && ctx.trace.level != fairsim::TraceLevel::Off {
+        net.publish_metrics();
+        let tracer = net.take_tracer();
+        write_trace_artifacts(ctx, label, &tracer);
+        Some(tracer)
+    } else {
+        None
+    };
     let jain: Vec<(f64, f64)> = net
         .monitor
         .samples()
@@ -606,21 +705,24 @@ where
         fcts: net.monitor.fcts().to_vec(),
         all_finished: net.all_finished(),
         events_handled,
+        occupancy_hwm,
+        trace,
     }
 }
 
 /// Prime and run `net` until `deadline` on the selected scheduler,
-/// returning the world and the number of events dispatched.
+/// returning the world, the number of events dispatched, and the
+/// scheduler occupancy high-water mark.
 fn run_primed(
     net: netsim::Network,
     deadline: Nanos,
     scheduler: SchedulerKind,
-) -> (netsim::Network, u64) {
+) -> (netsim::Network, u64, u64) {
     use dcsim::{EventQueue, Scheduler, Simulation, TimingWheel};
     fn go<S: Scheduler<netsim::Event> + Default>(
         net: netsim::Network,
         deadline: Nanos,
-    ) -> (netsim::Network, u64) {
+    ) -> (netsim::Network, u64, u64) {
         let mut sim = Simulation::with_scheduler(net, S::default());
         {
             let (w, q) = sim.split_mut();
@@ -628,7 +730,8 @@ fn run_primed(
         }
         sim.run_until(deadline);
         let handled = sim.events_handled();
-        (sim.into_world(), handled)
+        let occupancy = sim.occupancy_high_water() as u64;
+        (sim.into_world(), handled, occupancy)
     }
     match scheduler {
         SchedulerKind::Heap => go::<EventQueue<netsim::Event>>(net, deadline),
@@ -637,7 +740,7 @@ fn run_primed(
 }
 
 /// Ablation: Sampling Frequency cadence sweep (s in {5, 15, 30, 60, 120}).
-pub fn ablation_sf(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn ablation_sf(ctx: &FigureCtx) -> String {
     use cc_hpcc::{Hpcc, HpccConfig};
     use dcsim::{Bytes, DetRng};
     let mut out = String::from("== Ablation: SF cadence sweep, 16-1 incast, HPCC VAI+SF ==\n\n");
@@ -649,7 +752,7 @@ pub fn ablation_sf(seed: u64, scheduler: SchedulerKind) -> String {
     ]);
     let base_rtt = netsim::Topology::paper_star(17).base_rtt;
     for s in [5u32, 15, 30, 60, 120] {
-        let res = run_incast_custom(16, seed, scheduler, &format!("s={s}"), |fseed| {
+        let res = run_incast_custom(16, ctx, &format!("s={s}"), |fseed| {
             let mut cfg =
                 HpccConfig::vai_sf(base_rtt, dcsim::BitRate::from_gbps(100), Bytes::from_kb(50));
             cfg.sf = Some(faircc::SfConfig {
@@ -673,7 +776,7 @@ pub fn ablation_sf(seed: u64, scheduler: SchedulerKind) -> String {
 /// Ablation: the VAI dampener (paper Section IV-A). Disabling it lets the
 /// elevated AI feed back into fresh congestion during a 96-1 incast; the
 /// dampener bounds queues at equal fairness.
-pub fn ablation_dampener(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn ablation_dampener(ctx: &FigureCtx) -> String {
     use cc_hpcc::{Hpcc, HpccConfig};
     use dcsim::{Bytes, DetRng};
     let mut out = String::from("== Ablation: VAI dampener on/off, 96-1 incast, HPCC VAI+SF ==\n\n");
@@ -686,7 +789,7 @@ pub fn ablation_dampener(seed: u64, scheduler: SchedulerKind) -> String {
     ]);
     let base_rtt = netsim::Topology::paper_star(97).base_rtt;
     for (label, constant) in [("enabled (8)", 8.0f64), ("disabled", f64::INFINITY)] {
-        let res = run_incast_custom(96, seed, scheduler, label, |fseed| {
+        let res = run_incast_custom(96, ctx, label, |fseed| {
             let mut cfg =
                 HpccConfig::vai_sf(base_rtt, dcsim::BitRate::from_gbps(100), Bytes::from_kb(50));
             if let Some(vai) = &mut cfg.vai {
@@ -716,14 +819,14 @@ pub fn ablation_dampener(seed: u64, scheduler: SchedulerKind) -> String {
 /// suggestion for Swift's Hadoop median slowdown: "Swift may benefit
 /// from a hyper additive increase setting like in Timely, which can
 /// help grab available bandwidth").
-pub fn ablation_hyper_ai(scale: Scale, seed: u64, scheduler: SchedulerKind) -> String {
+pub fn ablation_hyper_ai(ctx: &FigureCtx) -> String {
     let specs = [
         CcSpec::new(ProtocolKind::Swift, Variant::Default),
         CcSpec::new(ProtocolKind::Swift, Variant::Default).with_hyper_ai(),
         CcSpec::new(ProtocolKind::Swift, Variant::VaiSf),
         CcSpec::new(ProtocolKind::Swift, Variant::VaiSf).with_hyper_ai(),
     ];
-    let results = run_datacenters(&specs, &[distributions::FB_HADOOP], scale, seed, scheduler);
+    let results = run_datacenters(&specs, &[distributions::FB_HADOOP], ctx);
     let mut out = render_slowdown(
         "Ablation: Swift hyper-AI (Timely-style), Hadoop traffic, median",
         &results,
@@ -742,13 +845,13 @@ pub fn ablation_hyper_ai(scale: Scale, seed: u64, scheduler: SchedulerKind) -> S
 /// nor sharing HPCC's or Swift's signal (RTT *gradient*). The paper
 /// claims the mechanisms are "broadly applicable to other sender
 /// reaction-based protocols"; this checks that claim.
-pub fn ablation_timely(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn ablation_timely(ctx: &FigureCtx) -> String {
     let specs = [
         CcSpec::new(ProtocolKind::Timely, Variant::Default),
         CcSpec::new(ProtocolKind::Timely, Variant::Sf),
         CcSpec::new(ProtocolKind::Timely, Variant::VaiSf),
     ];
-    let results = run_incasts(&specs, 16, seed, scheduler);
+    let results = run_incasts(&specs, 16, ctx);
     render_jain_queue(
         "Ablation: VAI+SF generality on Timely, 16-1 incast",
         &results,
@@ -763,7 +866,7 @@ pub fn ablation_timely(seed: u64, scheduler: SchedulerKind) -> String {
 /// fat-tree (fabric links at host speed) where ECMP collisions create
 /// unequal shares. Convergence to fairness then decides how long the
 /// collided flows lag the clean ones.
-pub fn ablation_permutation(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn ablation_permutation(ctx: &FigureCtx) -> String {
     use dcsim::Bytes;
     let fat_tree = FatTreeConfig {
         // Oversubscribed: fabric at host speed.
@@ -774,7 +877,7 @@ pub fn ablation_permutation(seed: u64, scheduler: SchedulerKind) -> String {
         fat_tree.num_hosts(),
         Bytes::from_mb(4),
         Nanos::ZERO,
-        seed ^ 0xBEEF,
+        ctx.seed ^ 0xBEEF,
     );
     let mut out =
         String::from("== Ablation: permutation traffic on an oversubscribed fat-tree ==\n\n");
@@ -795,12 +898,15 @@ pub fn ablation_permutation(seed: u64, scheduler: SchedulerKind) -> String {
             fat_tree,
             arrivals: arrivals.clone(),
             cc: CcSpec::new(kind, variant),
-            seed,
+            seed: ctx.seed,
             deadline: Nanos::from_millis(50),
             sample_interval: None,
-            scheduler,
+            scheduler: ctx.scheduler,
         }
-        .run();
+        .run_with(&ctx.run_ctx());
+        if let Some(tracer) = &res.trace {
+            write_trace_artifacts(ctx, &res.label, tracer);
+        }
         let finishes: Vec<f64> = res.fcts.iter().map(|r| r.finish.as_micros_f64()).collect();
         let spread = finishes.iter().cloned().fold(f64::MIN, f64::max)
             - finishes.iter().cloned().fold(f64::MAX, f64::min);
@@ -821,7 +927,7 @@ pub fn ablation_permutation(seed: u64, scheduler: SchedulerKind) -> String {
 /// as well as decreases — the design the paper explicitly rejects because
 /// high-rate flows would then also increase more often. Expect fairness
 /// to regress relative to decrease-only SF.
-pub fn ablation_sf_increases(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn ablation_sf_increases(ctx: &FigureCtx) -> String {
     use cc_hpcc::{Hpcc, HpccConfig};
     use dcsim::{Bytes, DetRng};
     let mut out = String::from(
@@ -835,7 +941,7 @@ pub fn ablation_sf_increases(seed: u64, scheduler: SchedulerKind) -> String {
         "finish spread(us)",
     ]);
     for (label, on_increases) in [("SF decreases only (paper)", false), ("SF both ways", true)] {
-        let res = run_incast_custom(16, seed, scheduler, label, |fseed| {
+        let res = run_incast_custom(16, ctx, label, |fseed| {
             let mut cfg =
                 HpccConfig::vai_sf(base_rtt, dcsim::BitRate::from_gbps(100), Bytes::from_kb(50));
             cfg.sf_on_increases = on_increases;
@@ -860,7 +966,7 @@ pub fn ablation_sf_increases(seed: u64, scheduler: SchedulerKind) -> String {
 
 /// Ablation: incast-degree sweep — how the convergence benefit scales
 /// with the number of joining senders (8 to 96).
-pub fn ablation_degree(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn ablation_degree(ctx: &FigureCtx) -> String {
     let mut out = String::from("== Ablation: incast-degree sweep, HPCC default vs VAI SF ==\n\n");
     let mut tbl = TextTable::new(vec![
         "senders",
@@ -875,8 +981,7 @@ pub fn ablation_degree(seed: u64, scheduler: SchedulerKind) -> String {
                 CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
             ],
             senders,
-            seed,
-            scheduler,
+            ctx,
         );
         let d = results[0].finish_spread_us();
         let v = results[1].finish_spread_us();
@@ -893,23 +998,24 @@ pub fn ablation_degree(seed: u64, scheduler: SchedulerKind) -> String {
 
 /// Ablation: PFC headroom — verify that with PFC enabled at realistic
 /// watermarks, no experiment ever pauses (queues stay far below XOFF).
-pub fn ablation_pfc(seed: u64, scheduler: SchedulerKind) -> String {
+pub fn ablation_pfc(ctx: &FigureCtx) -> String {
     let mut out = String::from("== Ablation: PFC headroom, 16-1 incast ==\n\n");
     let mut tbl = TextTable::new(vec!["variant", "peak queue(KB)", "PFC XOFF(KB)", "margin"]);
     let xoff = netsim::pfc::PfcConfig::default_100g().xoff;
-    for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift] {
-        for variant in [Variant::Default, Variant::VaiSf] {
-            let mut sc = IncastScenario::paper(16, CcSpec::new(kind, variant), seed);
-            sc.scheduler = scheduler;
-            let res = sc.run();
-            let peak = res.peak_queue();
-            tbl.row(vec![
-                res.label.clone(),
-                format!("{:.1}", peak as f64 / 1e3),
-                format!("{:.0}", xoff.as_f64() / 1e3),
-                format!("{:.1}x", xoff.as_f64() / peak.max(1) as f64),
-            ]);
-        }
+    let specs = [
+        CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
+        CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+        CcSpec::new(ProtocolKind::Swift, Variant::Default),
+        CcSpec::new(ProtocolKind::Swift, Variant::VaiSf),
+    ];
+    for res in run_incasts(&specs, 16, ctx) {
+        let peak = res.peak_queue();
+        tbl.row(vec![
+            res.label.clone(),
+            format!("{:.1}", peak as f64 / 1e3),
+            format!("{:.0}", xoff.as_f64() / 1e3),
+            format!("{:.1}x", xoff.as_f64() / peak.max(1) as f64),
+        ]);
     }
     out.push_str(&tbl.render());
     out.push_str("\nAll margins > 1x mean PFC never engages on the paper's scenarios.\n");
@@ -921,15 +1027,10 @@ pub fn ablation_pfc(seed: u64, scheduler: SchedulerKind) -> String {
 /// the datacenter figures (per-variant [`fairsim::DatacenterSummary`]),
 /// and fig4 (the fluid-model samples). `None` for unknown names or
 /// figures with no JSON form.
-pub fn run_figure_json(
-    name: &str,
-    scale: Scale,
-    seed: u64,
-    scheduler: SchedulerKind,
-) -> Option<String> {
+pub fn run_figure_json(name: &str, ctx: &FigureCtx) -> Option<String> {
     use fairsim::export::{to_json, DatacenterSummary, IncastSummary};
     let incast = |specs: &[CcSpec], senders: usize| {
-        let summaries: Vec<IncastSummary> = run_incasts(specs, senders, seed, scheduler)
+        let summaries: Vec<IncastSummary> = run_incasts(specs, senders, ctx)
             .iter()
             .map(IncastSummary::from)
             .collect();
@@ -937,7 +1038,7 @@ pub fn run_figure_json(
     };
     let dc = |workloads: &[&str]| {
         let summaries: Vec<DatacenterSummary> =
-            run_datacenters(&datacenter_specs(), workloads, scale, seed, scheduler)
+            run_datacenters(&datacenter_specs(), workloads, ctx)
                 .iter()
                 .map(DatacenterSummary::from)
                 .collect();
@@ -948,7 +1049,7 @@ pub fn run_figure_json(
             let mut all = Vec::new();
             for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift] {
                 all.extend(
-                    run_incasts(&incast_specs(kind, false), 16, seed, scheduler)
+                    run_incasts(&incast_specs(kind, false), 16, ctx)
                         .iter()
                         .map(fairsim::IncastSummary::from),
                 );
@@ -987,29 +1088,29 @@ pub fn run_figure_json(
 }
 
 /// Run a figure by name; `None` if unknown.
-pub fn run_figure(name: &str, scale: Scale, seed: u64, scheduler: SchedulerKind) -> Option<String> {
+pub fn run_figure(name: &str, ctx: &FigureCtx) -> Option<String> {
     Some(match name {
-        "fig1" => fig1(seed, scheduler),
-        "fig2" => fig2(seed, scheduler),
-        "fig3" => fig3(seed, scheduler),
+        "fig1" => fig1(ctx),
+        "fig2" => fig2(ctx),
+        "fig3" => fig3(ctx),
         "fig4" => fig4(),
-        "fig5" => fig5(seed, scheduler),
-        "fig6" => fig6(seed, scheduler),
-        "fig8" => fig8(seed, scheduler),
-        "fig9" => fig9(seed, scheduler),
-        "fig10" => fig10(scale, seed, scheduler),
-        "fig11" => fig11(scale, seed, scheduler),
-        "fig12" => fig12(scale, seed, scheduler),
-        "fig13" => fig13(scale, seed, scheduler),
-        "ablation-mechanisms" => ablation_mechanisms(seed, scheduler),
-        "ablation-sf" => ablation_sf(seed, scheduler),
-        "ablation-dampener" => ablation_dampener(seed, scheduler),
-        "ablation-hyper-ai" => ablation_hyper_ai(scale, seed, scheduler),
-        "ablation-timely" => ablation_timely(seed, scheduler),
-        "ablation-permutation" => ablation_permutation(seed, scheduler),
-        "ablation-sf-increases" => ablation_sf_increases(seed, scheduler),
-        "ablation-degree" => ablation_degree(seed, scheduler),
-        "ablation-pfc" => ablation_pfc(seed, scheduler),
+        "fig5" => fig5(ctx),
+        "fig6" => fig6(ctx),
+        "fig8" => fig8(ctx),
+        "fig9" => fig9(ctx),
+        "fig10" => fig10(ctx),
+        "fig11" => fig11(ctx),
+        "fig12" => fig12(ctx),
+        "fig13" => fig13(ctx),
+        "ablation-mechanisms" => ablation_mechanisms(ctx),
+        "ablation-sf" => ablation_sf(ctx),
+        "ablation-dampener" => ablation_dampener(ctx),
+        "ablation-hyper-ai" => ablation_hyper_ai(ctx),
+        "ablation-timely" => ablation_timely(ctx),
+        "ablation-permutation" => ablation_permutation(ctx),
+        "ablation-sf-increases" => ablation_sf_increases(ctx),
+        "ablation-degree" => ablation_degree(ctx),
+        "ablation-pfc" => ablation_pfc(ctx),
         _ => return None,
     })
 }
@@ -1052,15 +1153,24 @@ mod tests {
 
     #[test]
     fn run_figure_rejects_unknown() {
-        assert!(run_figure("fig7", Scale::Reduced, 1, SchedulerKind::Heap).is_none()); // topology diagram
-        assert!(run_figure("fig4", Scale::Reduced, 1, SchedulerKind::Heap).is_some());
+        let ctx = FigureCtx::new(Scale::Reduced, 1);
+        assert!(run_figure("fig7", &ctx).is_none()); // topology diagram
+        assert!(run_figure("fig4", &ctx).is_some());
     }
 
     #[test]
     fn fig4_json_is_valid() {
-        let json = run_figure_json("fig4", Scale::Reduced, 1, SchedulerKind::Heap).unwrap();
+        let ctx = FigureCtx::new(Scale::Reduced, 1);
+        let json = run_figure_json("fig4", &ctx).unwrap();
         let v = minijson::Value::parse(&json).unwrap();
         assert!(v.as_array().unwrap().len() > 100);
-        assert!(run_figure_json("ablation-pfc", Scale::Reduced, 1, SchedulerKind::Heap).is_none());
+        assert!(run_figure_json("ablation-pfc", &ctx).is_none());
+    }
+
+    #[test]
+    fn slugs_are_filename_safe() {
+        assert_eq!(slug("HPCC 1Gbps"), "hpcc-1gbps");
+        assert_eq!(slug("Swift VAI SF"), "swift-vai-sf");
+        assert_eq!(slug("s=15"), "s-15");
     }
 }

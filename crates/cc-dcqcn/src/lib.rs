@@ -29,7 +29,7 @@
 #![warn(missing_docs)]
 
 use dcsim::{BitRate, Bytes, Nanos};
-use faircc::{AckFeedback, CcMode, CongestionControl, SenderLimits};
+use faircc::{AckFeedback, CcMode, CongestionControl, MetricsRegistry, SenderLimits};
 
 /// Tunables for one DCQCN flow.
 #[derive(Debug, Clone)]
@@ -207,6 +207,11 @@ impl CongestionControl for Dcqcn {
 
     fn name(&self) -> &str {
         "DCQCN"
+    }
+
+    fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.histogram_record_f64("cc.dcqcn.rate_bps", self.rc);
+        reg.histogram_record_f64("cc.dcqcn.target_bps", self.rt);
     }
 }
 

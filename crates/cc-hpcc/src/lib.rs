@@ -33,8 +33,9 @@
 
 use dcsim::{BitRate, Bytes, DetRng, Nanos};
 use faircc::{
-    AckFeedback, CcMode, CongestionControl, IntHop, IntStack, ProbabilisticGate, SamplingFrequency,
-    SenderLimits, SfConfig, VaiConfig, VariableAi, MAX_INT_HOPS,
+    AckFeedback, CcMode, CcSnapshot, CongestionControl, IntHop, IntStack, MetricsRegistry,
+    ProbabilisticGate, SamplingFrequency, SenderLimits, SfConfig, VaiConfig, VariableAi,
+    MAX_INT_HOPS,
 };
 
 /// Tunables for one HPCC flow.
@@ -329,6 +330,23 @@ impl CongestionControl for Hpcc {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn snapshot(&self) -> CcSnapshot {
+        let l = self.limits();
+        CcSnapshot {
+            window_bytes: l.window_bytes,
+            rate: l.pacing,
+            vai_bank: self.vai.as_ref().map_or(0.0, VariableAi::bank),
+        }
+    }
+
+    fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.histogram_record_f64("cc.hpcc.window_bytes", self.window);
+        reg.histogram_record("cc.hpcc.inc_stage", u64::from(self.inc_stage));
+        if let Some(vai) = &self.vai {
+            reg.histogram_record_f64("cc.hpcc.vai_bank", vai.bank());
+        }
     }
 }
 

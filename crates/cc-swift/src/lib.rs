@@ -33,8 +33,8 @@
 
 use dcsim::{BitRate, DetRng, Nanos};
 use faircc::{
-    AckFeedback, CcMode, CongestionControl, ProbabilisticGate, SamplingFrequency, SenderLimits,
-    SfConfig, VaiConfig, VariableAi,
+    AckFeedback, CcMode, CcSnapshot, CongestionControl, MetricsRegistry, ProbabilisticGate,
+    SamplingFrequency, SenderLimits, SfConfig, VaiConfig, VariableAi,
 };
 
 /// Flow-based scaling parameters (Swift §4.3).
@@ -411,6 +411,22 @@ impl CongestionControl for Swift {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn snapshot(&self) -> CcSnapshot {
+        let l = self.limits();
+        CcSnapshot {
+            window_bytes: l.window_bytes,
+            rate: l.pacing,
+            vai_bank: self.vai.as_ref().map_or(0.0, VariableAi::bank),
+        }
+    }
+
+    fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.histogram_record_f64("cc.swift.cwnd_pkts", self.cwnd);
+        if let Some(vai) = &self.vai {
+            reg.histogram_record_f64("cc.swift.vai_bank", vai.bank());
+        }
     }
 }
 

@@ -28,8 +28,8 @@
 
 use dcsim::{BitRate, Nanos};
 use faircc::{
-    AckFeedback, CcMode, CongestionControl, SamplingFrequency, SenderLimits, SfConfig, VaiConfig,
-    VariableAi,
+    AckFeedback, CcMode, CcSnapshot, CongestionControl, MetricsRegistry, SamplingFrequency,
+    SenderLimits, SfConfig, VaiConfig, VariableAi,
 };
 
 /// Tunables for one Timely flow.
@@ -258,6 +258,22 @@ impl CongestionControl for Timely {
 
     fn name(&self) -> &str {
         self.name
+    }
+
+    fn snapshot(&self) -> CcSnapshot {
+        let l = self.limits();
+        CcSnapshot {
+            window_bytes: l.window_bytes,
+            rate: l.pacing,
+            vai_bank: self.vai.as_ref().map_or(0.0, VariableAi::bank),
+        }
+    }
+
+    fn publish_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.histogram_record_f64("cc.timely.rate_bps", self.rate);
+        if let Some(vai) = &self.vai {
+            reg.histogram_record_f64("cc.timely.vai_bank", vai.bank());
+        }
     }
 }
 

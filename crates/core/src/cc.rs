@@ -53,6 +53,18 @@ pub enum CcMode {
     Rate,
 }
 
+/// A point-in-time view of a protocol's control state, recorded by the
+/// observability layer as a `cc_update` trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcSnapshot {
+    /// Effective window in bytes (`f64::INFINITY` for rate-based).
+    pub window_bytes: f64,
+    /// Current pacing/injection rate.
+    pub rate: BitRate,
+    /// VAI token-bank balance, or 0 for variants without VAI.
+    pub vai_bank: f64,
+}
+
 /// A sender-side congestion-control algorithm.
 ///
 /// Implementations must be deterministic given the same sequence of calls
@@ -94,6 +106,24 @@ pub trait CongestionControl: Send {
     fn current_rate(&self) -> BitRate {
         self.limits().pacing
     }
+
+    /// The state recorded in `cc_update` trace events. The default
+    /// derives window and rate from [`limits`](Self::limits) and reports
+    /// no VAI bank; VAI-capable protocols override to expose the token
+    /// balance.
+    fn snapshot(&self) -> CcSnapshot {
+        let l = self.limits();
+        CcSnapshot {
+            window_bytes: l.window_bytes,
+            rate: l.pacing,
+            vai_bank: 0.0,
+        }
+    }
+
+    /// Publish end-of-run counters/histograms into the metrics registry
+    /// under keys prefixed with this protocol's state (called once per
+    /// flow when counters-level tracing is on). Default: nothing.
+    fn publish_metrics(&self, _reg: &mut simtrace::MetricsRegistry) {}
 }
 
 #[cfg(test)]

@@ -40,8 +40,11 @@ pub mod prob;
 pub mod sampling;
 pub mod vai;
 
-pub use cc::{CcMode, CongestionControl, SenderLimits};
+pub use cc::{CcMode, CcSnapshot, CongestionControl, SenderLimits};
+// Re-exported so protocol crates implement `publish_metrics` without a
+// direct simtrace dependency.
 pub use feedback::{AckFeedback, IntHop, IntStack, MAX_INT_HOPS};
 pub use prob::ProbabilisticGate;
 pub use sampling::{SamplingFrequency, SfConfig};
+pub use simtrace::MetricsRegistry;
 pub use vai::{VaiConfig, VariableAi};

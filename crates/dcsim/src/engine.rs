@@ -44,6 +44,8 @@ pub struct Simulation<W: World, S: Scheduler<W::Event> = EventQueue<<W as World>
     queue: S,
     now: Nanos,
     events_handled: u64,
+    #[cfg(feature = "trace")]
+    occupancy_hwm: usize,
 }
 
 impl<W: World> Simulation<W> {
@@ -62,6 +64,8 @@ impl<W: World, S: Scheduler<W::Event>> Simulation<W, S> {
             queue,
             now: Nanos::ZERO,
             events_handled: 0,
+            #[cfg(feature = "trace")]
+            occupancy_hwm: 0,
         }
     }
 
@@ -102,8 +106,27 @@ impl<W: World, S: Scheduler<W::Event>> Simulation<W, S> {
         (&mut self.world, &mut self.queue)
     }
 
+    /// Highest scheduler occupancy (pending events) observed at any
+    /// dispatch, for profiling scheduler sizing. Always 0 without the
+    /// `trace` cargo feature.
+    #[inline]
+    pub fn occupancy_high_water(&self) -> usize {
+        #[cfg(feature = "trace")]
+        {
+            self.occupancy_hwm
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0
+        }
+    }
+
     /// Dispatch a single event. Returns `false` if the queue was empty.
     pub fn step(&mut self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.occupancy_hwm = self.occupancy_hwm.max(self.queue.len());
+        }
         match self.queue.pop() {
             Some((at, ev)) => {
                 debug_assert!(

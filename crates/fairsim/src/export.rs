@@ -155,6 +155,18 @@ pub fn to_json<T: ToJson>(value: &T) -> String {
     value.to_value().pretty()
 }
 
+/// Serialize a figure payload together with a traced run's metrics
+/// registry: `{"summary": ..., "metrics": {"counters": ..., "histograms":
+/// ...}}`. This is what the harness writes next to trace files so the
+/// counters land beside the numbers they explain.
+pub fn to_json_with_metrics<T: ToJson>(value: &T, tracer: &simtrace::Tracer) -> String {
+    obj([
+        ("summary", value.to_value()),
+        ("metrics", tracer.metrics().to_value()),
+    ])
+    .pretty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +186,8 @@ mod tests {
             }],
             all_finished: true,
             events_handled: 0,
+            occupancy_hwm: 0,
+            trace: None,
         }
     }
 
@@ -189,6 +203,17 @@ mod tests {
         // Valid JSON (parse back).
         let v = minijson::Value::parse(&json).expect("exporter emits valid JSON");
         assert_eq!(v["peak_queue_bytes"].as_u64(), Some(100));
+    }
+
+    #[test]
+    fn metrics_ride_along_with_the_summary() {
+        let mut tracer = simtrace::Tracer::new(simtrace::TraceConfig::counters());
+        tracer.metrics_mut().counter_add("net.flows", 3);
+        let s = IncastSummary::from(&incast_result());
+        let json = to_json_with_metrics(&s, &tracer);
+        let v = minijson::Value::parse(&json).expect("exporter emits valid JSON");
+        assert_eq!(v["summary"]["label"].as_str(), Some("HPCC"));
+        assert_eq!(v["metrics"]["counters"]["net.flows"].as_u64(), Some(3));
     }
 
     #[test]
@@ -214,6 +239,8 @@ mod tests {
             completed: 2,
             raw: vec![(0, 1_000, 2.0), (1, 2_000_000, 10.0)],
             events_handled: 0,
+            occupancy_hwm: 0,
+            trace: None,
         };
         let s = DatacenterSummary::from(&r);
         assert_eq!(s.bins.len(), 2);

@@ -30,10 +30,13 @@ pub mod spec;
 pub use analysis::PairedComparison;
 pub use export::{DatacenterSummary, IncastSummary};
 pub use scenarios::{
-    DatacenterResult, DatacenterScenario, IncastResult, IncastScenario, TraceResult, TraceScenario,
+    DatacenterResult, DatacenterScenario, IncastResult, IncastScenario, RunCtx, Scenario,
+    TraceResult, TraceScenario,
 };
-pub use spec::{CcSpec, NetEnv, ProtocolKind, Variant};
+pub use spec::{CcOptions, CcSpec, NetEnv, ProtocolKind, Variant};
 
 // The scheduler knob on every scenario comes from the engine crate; re-export
-// it so harnesses can name it without depending on dcsim directly.
+// it so harnesses can name it without depending on dcsim directly. Same for
+// the observability configuration from simtrace.
 pub use dcsim::SchedulerKind;
+pub use simtrace::{Subsystem, TraceConfig, TraceLevel, Tracer};

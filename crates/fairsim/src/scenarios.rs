@@ -1,8 +1,9 @@
-//! The two experiment drivers.
+//! The experiment drivers, unified behind the [`Scenario`] trait.
 
 use dcsim::{EventQueue, Nanos, RunOutcome, Scheduler, SchedulerKind, Simulation, TimingWheel};
 use metrics::{jain, SlowdownRecord, SlowdownTable};
 use netsim::{FatTreeConfig, FctRecord, FlowSpec, MonitorConfig, NetConfig, Network, Topology};
+use simtrace::{TraceConfig, TraceLevel, Tracer};
 use workloads::{
     arrivals::{mixed_arrivals, ArrivalConfig},
     distributions, staggered_incast, IncastConfig,
@@ -10,16 +11,75 @@ use workloads::{
 
 use crate::spec::{CcSpec, NetEnv};
 
+/// Cross-cutting parameters of one experiment run: everything that is a
+/// property of *how* a scenario executes rather than *what* it simulates.
+///
+/// Scenario structs describe the workload (topology, flows, protocol);
+/// a `RunCtx` carries the seed, the event-scheduler backend, and the
+/// observability configuration. The same scenario value can be re-run
+/// under different contexts (new seed, wheel vs. heap, tracing on/off)
+/// without mutating it.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCtx {
+    /// Root seed for the run's deterministic randomness.
+    pub seed: u64,
+    /// Event scheduler backing the run (results are scheduler-invariant;
+    /// the wheel is faster on dense timer populations).
+    pub scheduler: SchedulerKind,
+    /// Trace/metrics collection level and subsystem filter.
+    pub trace: TraceConfig,
+}
+
+impl RunCtx {
+    /// A context with the given seed, default scheduler, and tracing off.
+    pub fn new(seed: u64) -> Self {
+        RunCtx {
+            seed,
+            scheduler: SchedulerKind::default(),
+            trace: TraceConfig::off(),
+        }
+    }
+
+    /// Select the event-scheduler backend.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Select the trace/metrics configuration.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// An experiment that can be run under a [`RunCtx`].
+///
+/// All three drivers ([`IncastScenario`], [`DatacenterScenario`],
+/// [`TraceScenario`]) implement this, so harness code can be generic over
+/// the scenario type and thread seed/scheduler/trace settings through one
+/// place instead of poking per-scenario fields.
+pub trait Scenario {
+    /// The result type the run produces.
+    type Outcome;
+
+    /// Execute the scenario under the given context.
+    fn run_with(&self, ctx: &RunCtx) -> Self::Outcome;
+}
+
 /// Prime and run a primed network to `deadline` under scheduler `S`.
 ///
 /// Every scenario funnels through here, so heap and wheel runs execute the
 /// exact same driver code — the scheduler is the only degree of freedom,
 /// which is what the scheduler-equivalence tests rely on.
+///
+/// The final `u64` is the scheduler's occupancy high-water mark (0 unless
+/// the `trace` feature is compiled in).
 fn drive<S: Scheduler<netsim::Event> + Default>(
     net: Network,
     deadline: Nanos,
     budget: u64,
-) -> (Network, RunOutcome, u64) {
+) -> (Network, RunOutcome, u64, u64) {
     let mut sim = Simulation::with_scheduler(net, S::default());
     {
         let (w, q) = sim.split_mut();
@@ -27,7 +87,8 @@ fn drive<S: Scheduler<netsim::Event> + Default>(
     }
     let outcome = sim.run_with_budget(deadline, budget);
     let handled = sim.events_handled();
-    (sim.into_world(), outcome, handled)
+    let occupancy = sim.occupancy_high_water() as u64;
+    (sim.into_world(), outcome, handled, occupancy)
 }
 
 /// Run `net` to `deadline` on the scheduler selected by `kind`.
@@ -36,11 +97,33 @@ pub(crate) fn run_network(
     net: Network,
     deadline: Nanos,
     budget: u64,
-) -> (Network, RunOutcome, u64) {
+) -> (Network, RunOutcome, u64, u64) {
     match kind {
         SchedulerKind::Heap => drive::<EventQueue<netsim::Event>>(net, deadline, budget),
         SchedulerKind::Wheel => drive::<TimingWheel<netsim::Event>>(net, deadline, budget),
     }
+}
+
+/// Install a tracer on a freshly built network, honoring the spec-level
+/// CC sampling cadence when the context leaves it unset.
+fn install_tracer(net: &mut Network, cc: &CcSpec, ctx: &RunCtx) {
+    let mut tcfg = ctx.trace;
+    if cc.opts.trace_sample_every > 1 {
+        tcfg = tcfg.with_cc_sample_every(cc.opts.trace_sample_every);
+    }
+    net.set_tracer(Tracer::new(tcfg));
+}
+
+/// Publish end-of-run metrics and detach the tracer for the result.
+///
+/// Returns `None` when tracing was configured off or compiled out, so
+/// results stay lightweight on untraced runs.
+fn finish_tracer(net: &mut Network) -> Option<Tracer> {
+    if !simtrace::ENABLED || net.tracer().config().level == TraceLevel::Off {
+        return None;
+    }
+    net.publish_metrics();
+    Some(net.take_tracer())
 }
 
 /// A 16-1 / 96-1 staggered-incast run (Figures 1-3, 5, 6, 8, 9).
@@ -82,8 +165,25 @@ impl IncastScenario {
         }
     }
 
-    /// Run to completion (or the horizon) and collect the figure series.
+    /// Select the event-scheduler backend (chainable).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Compatibility shim: run under a context assembled from this
+    /// scenario's own `seed`/`scheduler` fields, with tracing off.
+    /// Prefer [`Scenario::run_with`] for new code.
     pub fn run(&self) -> IncastResult {
+        self.run_with(&RunCtx::new(self.seed).with_scheduler(self.scheduler))
+    }
+}
+
+impl Scenario for IncastScenario {
+    type Outcome = IncastResult;
+
+    /// Run to completion (or the horizon) and collect the figure series.
+    fn run_with(&self, ctx: &RunCtx) -> IncastResult {
         let topo = Topology::paper_star(self.incast.senders + 1);
         let env = NetEnv::incast_star(topo.base_rtt);
         let hosts = topo.hosts.clone();
@@ -96,7 +196,7 @@ impl IncastScenario {
         }
         let mut net = builder.build(
             NetConfig {
-                seed: self.seed,
+                seed: ctx.seed,
                 ..NetConfig::default()
             },
             MonitorConfig {
@@ -106,6 +206,7 @@ impl IncastScenario {
                 track_flow_rates: true,
             },
         );
+        install_tracer(&mut net, &self.cc, ctx);
         // Watch the bottleneck: the switch's egress port to the receiver.
         let bottleneck = net
             .port_towards(switch, receiver)
@@ -115,7 +216,7 @@ impl IncastScenario {
         for (i, f) in staggered_incast(&self.incast).iter().enumerate() {
             let cc = self
                 .cc
-                .build(&env, self.seed.wrapping_mul(1009).wrapping_add(i as u64));
+                .build(&env, ctx.seed.wrapping_mul(1009).wrapping_add(i as u64));
             net.add_flow(
                 FlowSpec {
                     src: hosts[f.src],
@@ -127,8 +228,8 @@ impl IncastScenario {
             );
         }
 
-        let (net, outcome, events_handled) =
-            run_network(self.scheduler, net, self.horizon, 2_000_000_000);
+        let (mut net, outcome, events_handled, occupancy_hwm) =
+            run_network(ctx.scheduler, net, self.horizon, 2_000_000_000);
         assert!(
             outcome != RunOutcome::BudgetExhausted,
             "incast run exploded its event budget"
@@ -150,13 +251,16 @@ impl IncastScenario {
             }
         }
         let all_finished = net.all_finished();
+        let fcts = net.monitor.fcts().to_vec();
         IncastResult {
             label: self.cc.label(),
             jain: jain_series,
             queue: queue_series,
-            fcts: net.monitor.fcts().to_vec(),
+            fcts,
             all_finished,
             events_handled,
+            occupancy_hwm,
+            trace: finish_tracer(&mut net),
         }
     }
 }
@@ -211,6 +315,11 @@ pub struct IncastResult {
     /// Events the engine dispatched (scheduler-invariant; the perf
     /// baseline divides this by wall time for events/sec).
     pub events_handled: u64,
+    /// Scheduler occupancy high-water mark (0 unless the `trace`
+    /// feature is compiled in).
+    pub occupancy_hwm: u64,
+    /// Collected trace events and metrics; `None` when tracing was off.
+    pub trace: Option<Tracer>,
 }
 
 impl IncastResult {
@@ -314,8 +423,25 @@ impl DatacenterScenario {
         }
     }
 
-    /// Run and build the slowdown tables.
+    /// Select the event-scheduler backend (chainable).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Compatibility shim: run under a context assembled from this
+    /// scenario's own `seed`/`scheduler` fields, with tracing off.
+    /// Prefer [`Scenario::run_with`] for new code.
     pub fn run(&self) -> DatacenterResult {
+        self.run_with(&RunCtx::new(self.seed).with_scheduler(self.scheduler))
+    }
+}
+
+impl Scenario for DatacenterScenario {
+    type Outcome = DatacenterResult;
+
+    /// Run and build the slowdown tables.
+    fn run_with(&self, ctx: &RunCtx) -> DatacenterResult {
         let topo = self.fat_tree.build();
         let env = NetEnv::fat_tree(topo.base_rtt);
         let hosts = topo.hosts.clone();
@@ -326,11 +452,12 @@ impl DatacenterScenario {
         }
         let mut net = builder.build(
             NetConfig {
-                seed: self.seed,
+                seed: ctx.seed,
                 ..NetConfig::default()
             },
             MonitorConfig::default(), // FCTs only; per-flow sampling off
         );
+        install_tracer(&mut net, &self.cc, ctx);
 
         let dists: Vec<_> = self
             .workloads
@@ -344,7 +471,7 @@ impl DatacenterScenario {
                 host_rate: self.fat_tree.host_rate,
                 load: self.load,
                 horizon: self.horizon,
-                seed: self.seed ^ 0xD15C0,
+                seed: ctx.seed ^ 0xD15C0,
             },
             &dist_refs,
         );
@@ -352,7 +479,7 @@ impl DatacenterScenario {
         for (i, f) in arrivals.iter().enumerate() {
             let cc = self
                 .cc
-                .build(&env, self.seed.wrapping_mul(31).wrapping_add(i as u64));
+                .build(&env, ctx.seed.wrapping_mul(31).wrapping_add(i as u64));
             net.add_flow(
                 FlowSpec {
                     src: hosts[f.src],
@@ -367,8 +494,8 @@ impl DatacenterScenario {
         // Arrivals stop at the horizon; give the tail 4x the horizon to
         // drain (starved long flows are exactly what we are measuring).
         let drain_deadline = Nanos(self.horizon.as_u64() * 5);
-        let (net, _, events_handled) =
-            run_network(self.scheduler, net, drain_deadline, 20_000_000_000);
+        let (mut net, _, events_handled, occupancy_hwm) =
+            run_network(ctx.scheduler, net, drain_deadline, 20_000_000_000);
 
         let completed = net.monitor.fcts().len();
         let mut raw: Vec<(u32, u64, f64)> = Vec::with_capacity(completed);
@@ -397,6 +524,8 @@ impl DatacenterScenario {
             completed,
             raw,
             events_handled,
+            occupancy_hwm,
+            trace: finish_tracer(&mut net),
         }
     }
 }
@@ -417,6 +546,11 @@ pub struct DatacenterResult {
     pub raw: Vec<(u32, u64, f64)>,
     /// Events the engine dispatched (see [`IncastResult::events_handled`]).
     pub events_handled: u64,
+    /// Scheduler occupancy high-water mark (0 unless the `trace`
+    /// feature is compiled in).
+    pub occupancy_hwm: u64,
+    /// Collected trace events and metrics; `None` when tracing was off.
+    pub trace: Option<Tracer>,
 }
 
 /// Replay an explicit arrival list (a saved trace, a permutation pattern,
@@ -457,11 +591,33 @@ pub struct TraceResult {
     pub jain: Vec<(f64, f64)>,
     /// Whether every flow completed before the deadline.
     pub all_finished: bool,
+    /// Scheduler occupancy high-water mark (0 unless the `trace`
+    /// feature is compiled in).
+    pub occupancy_hwm: u64,
+    /// Collected trace events and metrics; `None` when tracing was off.
+    pub trace: Option<Tracer>,
 }
 
 impl TraceScenario {
-    /// Run the replay.
+    /// Select the event-scheduler backend (chainable).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Compatibility shim: run under a context assembled from this
+    /// scenario's own `seed`/`scheduler` fields, with tracing off.
+    /// Prefer [`Scenario::run_with`] for new code.
     pub fn run(&self) -> TraceResult {
+        self.run_with(&RunCtx::new(self.seed).with_scheduler(self.scheduler))
+    }
+}
+
+impl Scenario for TraceScenario {
+    type Outcome = TraceResult;
+
+    /// Run the replay.
+    fn run_with(&self, ctx: &RunCtx) -> TraceResult {
         let topo = self.fat_tree.build();
         let env = NetEnv::fat_tree(topo.base_rtt);
         let hosts = topo.hosts.clone();
@@ -471,7 +627,7 @@ impl TraceScenario {
         }
         let mut net = builder.build(
             NetConfig {
-                seed: self.seed,
+                seed: ctx.seed,
                 ..NetConfig::default()
             },
             MonitorConfig {
@@ -481,10 +637,11 @@ impl TraceScenario {
                 track_flow_rates: self.sample_interval.is_some(),
             },
         );
+        install_tracer(&mut net, &self.cc, ctx);
         for (i, f) in self.arrivals.iter().enumerate() {
             let cc = self
                 .cc
-                .build(&env, self.seed.wrapping_mul(61).wrapping_add(i as u64));
+                .build(&env, ctx.seed.wrapping_mul(61).wrapping_add(i as u64));
             net.add_flow(
                 FlowSpec {
                     src: hosts[f.src],
@@ -495,7 +652,8 @@ impl TraceScenario {
                 cc,
             );
         }
-        let (net, _, _) = run_network(self.scheduler, net, self.deadline, 20_000_000_000);
+        let (mut net, _, _, occupancy_hwm) =
+            run_network(ctx.scheduler, net, self.deadline, 20_000_000_000);
         let raw: Vec<(u32, u64, f64)> = net
             .monitor
             .fcts()
@@ -519,12 +677,16 @@ impl TraceScenario {
                 (s.t.as_micros_f64(), jain(&rates))
             })
             .collect();
+        let fcts = net.monitor.fcts().to_vec();
+        let all_finished = net.all_finished();
         TraceResult {
             label: self.cc.label(),
-            fcts: net.monitor.fcts().to_vec(),
+            fcts,
             raw,
             jain,
-            all_finished: net.all_finished(),
+            all_finished,
+            occupancy_hwm,
+            trace: finish_tracer(&mut net),
         }
     }
 }
@@ -610,6 +772,8 @@ mod tests {
             fcts: vec![],
             all_finished: true,
             events_handled: 0,
+            occupancy_hwm: 0,
+            trace: None,
         };
         // The dip at t=20 resets the clock; convergence is at t=30.
         assert_eq!(res.convergence_time(0.95), Some(30.0));
@@ -672,6 +836,33 @@ mod tests {
         let a = mk(arrivals).run();
         let b = mk(replayed).run();
         assert_eq!(a.raw, b.raw);
+    }
+
+    #[test]
+    fn run_with_matches_legacy_run_shim() {
+        let sc = IncastScenario {
+            incast: IncastConfig {
+                senders: 4,
+                flow_size: Bytes::from_kb(200),
+                flows_per_interval: 2,
+                interval: Nanos::from_micros(20),
+            },
+            // Probabilistic gating actually draws from the seeded
+            // stream; the deterministic variants ignore the seed.
+            cc: CcSpec::new(ProtocolKind::Hpcc, Variant::Probabilistic),
+            seed: 11,
+            sample_interval: Nanos::from_micros(5),
+            horizon: Nanos::from_millis(20),
+            scheduler: SchedulerKind::default(),
+        };
+        let legacy = sc.run();
+        let ctx = RunCtx::new(11);
+        let unified = sc.run_with(&ctx);
+        assert_eq!(legacy.fcts, unified.fcts);
+        assert_eq!(legacy.jain, unified.jain);
+        // A different context seed must actually change the run.
+        let reseeded = sc.run_with(&RunCtx::new(12));
+        assert_ne!(legacy.fcts, reseeded.fcts);
     }
 
     #[test]

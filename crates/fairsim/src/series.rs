@@ -53,6 +53,8 @@ mod tests {
             fcts: vec![],
             all_finished: true,
             events_handled: 0,
+            occupancy_hwm: 0,
+            trace: None,
         }
     }
 

@@ -93,6 +93,38 @@ impl Variant {
     }
 }
 
+/// Cross-cutting knobs on a [`CcSpec`] that are orthogonal to the
+/// protocol/variant pair.
+///
+/// Collecting them here keeps `CcSpec` itself a stable two-axis key and
+/// lets new options arrive without another `with_*` method per field:
+/// construct with [`CcOptions::default`] and override fields, or chain
+/// the builder methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CcOptions {
+    /// Timely-style hyper additive increase (Swift only; the extension
+    /// the paper's evaluation suggests for Swift's Hadoop median).
+    pub hyper_ai: bool,
+    /// Record a `cc_update` trace event once every this many ACKs when
+    /// full tracing is enabled. `0` means "inherit the run's
+    /// `TraceConfig` cadence" (the scenario layer ignores zero).
+    pub trace_sample_every: u32,
+}
+
+impl CcOptions {
+    /// Enable Timely-style hyper AI (meaningful for Swift only).
+    pub fn hyper_ai(mut self) -> Self {
+        self.hyper_ai = true;
+        self
+    }
+
+    /// Sample `cc_update` trace events once every `n` ACKs.
+    pub fn trace_sample_every(mut self, n: u32) -> Self {
+        self.trace_sample_every = n;
+        self
+    }
+}
+
 /// A protocol + variant pair: the unit every figure compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CcSpec {
@@ -100,9 +132,8 @@ pub struct CcSpec {
     pub kind: ProtocolKind,
     /// Variant.
     pub variant: Variant,
-    /// Timely-style hyper additive increase (Swift only; the extension
-    /// the paper's evaluation suggests for Swift's Hadoop median).
-    pub hyper_ai: bool,
+    /// Cross-cutting options (hyper AI, trace sampling cadence, ...).
+    pub opts: CcOptions,
 }
 
 impl CcSpec {
@@ -111,13 +142,22 @@ impl CcSpec {
         CcSpec {
             kind,
             variant,
-            hyper_ai: false,
+            opts: CcOptions::default(),
         }
     }
 
+    /// Replace the option block wholesale.
+    pub fn with_options(mut self, opts: CcOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
     /// Enable Timely-style hyper AI (meaningful for Swift only).
+    ///
+    /// Compatibility shim for the pre-`CcOptions` API; equivalent to
+    /// `self.with_options(self.opts.hyper_ai())`.
     pub fn with_hyper_ai(mut self) -> Self {
-        self.hyper_ai = true;
+        self.opts.hyper_ai = true;
         self
     }
 
@@ -142,7 +182,7 @@ impl CcSpec {
             Variant::Sf => " SF",
             Variant::VaiSf => " VAI SF",
         };
-        let hai = if self.hyper_ai { " HAI" } else { "" };
+        let hai = if self.opts.hyper_ai { " HAI" } else { "" };
         format!("{base}{suffix}{hai}")
     }
 
@@ -197,7 +237,10 @@ impl CcSpec {
                     },
                 };
                 let cfg = SwiftConfig {
-                    hyper_ai: self.hyper_ai.then(cc_swift::HyperAiConfig::timely_default),
+                    hyper_ai: self
+                        .opts
+                        .hyper_ai
+                        .then(cc_swift::HyperAiConfig::timely_default),
                     ..cfg
                 };
                 Box::new(Swift::new(cfg, rng))

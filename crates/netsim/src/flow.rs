@@ -49,6 +49,9 @@ pub struct Flow {
     pub last_progress: Nanos,
     /// Sender side: the scheduled RTO check, if armed (dedup guard).
     pub rto_armed: Option<Nanos>,
+    /// Sender side: acknowledgements processed so far (drives the trace
+    /// layer's CC sampling cadence).
+    pub acks_seen: u64,
 }
 
 impl Flow {
@@ -74,6 +77,7 @@ impl Flow {
             last_nack_for: None,
             last_progress: spec.start,
             rto_armed: None,
+            acks_seen: 0,
         }
     }
 

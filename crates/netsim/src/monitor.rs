@@ -145,6 +145,17 @@ impl Monitor {
     pub fn samples(&self) -> &[Sample] {
         &self.samples
     }
+
+    /// Publish run-level measurement counters and the FCT histogram into
+    /// the metrics registry.
+    pub fn publish_metrics(&self, reg: &mut simtrace::MetricsRegistry) {
+        reg.counter_set("monitor.fcts", self.fcts.len() as u64);
+        reg.counter_set("monitor.samples", self.samples.len() as u64);
+        for r in &self.fcts {
+            reg.histogram_record("monitor.fct_ns", r.fct().as_u64());
+            reg.histogram_record("monitor.flow_bytes", r.size.as_u64());
+        }
+    }
 }
 
 #[cfg(test)]

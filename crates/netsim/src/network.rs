@@ -3,6 +3,7 @@
 
 use dcsim::{Bytes, DetRng, Nanos, Scheduler, World};
 use faircc::{AckFeedback, CongestionControl, IntHop};
+use simtrace::{Subsystem, TraceEvent, Tracer};
 
 use crate::flow::{Flow, FlowSpec};
 use crate::ids::{FlowId, NodeId, PortNo};
@@ -213,6 +214,7 @@ impl NetBuilder {
             red_rng,
             hosts,
             dropped_data: 0,
+            tracer: Tracer::off(),
         }
     }
 }
@@ -230,6 +232,7 @@ pub struct Network {
     red_rng: DetRng,
     hosts: Vec<NodeId>,
     dropped_data: u64,
+    tracer: Tracer,
 }
 
 impl Network {
@@ -308,6 +311,46 @@ impl Network {
     /// Total data packets tail-dropped network-wide (0 in lossless mode).
     pub fn dropped_data_packets(&self) -> u64 {
         self.dropped_data
+    }
+
+    /// Install a tracer (replacing the default disabled one). Call before
+    /// running; the tracer observes every subsequent event.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The active tracer (for reading events/metrics in place).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Remove and return the tracer (for export after a run), leaving a
+    /// disabled one behind.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
+    }
+
+    /// Publish end-of-run counters and histograms from every subsystem
+    /// into the tracer's metrics registry: per-port traffic counters, the
+    /// monitor's FCT histogram, and each flow's congestion-control state.
+    /// No-op unless the tracer is at counters level or above.
+    pub fn publish_metrics(&mut self) {
+        if !self.tracer.counters_enabled() {
+            return;
+        }
+        let reg = self.tracer.metrics_mut();
+        reg.counter_set("net.dropped_data_packets", self.dropped_data);
+        reg.counter_set("net.flows", self.flows.len() as u64);
+        reg.counter_set("net.flows_finished", self.monitor.fcts.len() as u64);
+        for (ni, n) in self.nodes.iter().enumerate() {
+            for (pi, p) in n.ports.iter().enumerate() {
+                p.publish_metrics(ni as u32, pi as u16, reg);
+            }
+        }
+        self.monitor.publish_metrics(reg);
+        for f in &self.flows {
+            f.cc.publish_metrics(reg);
+        }
     }
 
     /// Find the egress port on `a` whose link leads to `b`.
@@ -451,19 +494,55 @@ impl Network {
         q: &mut impl Scheduler<Event>,
     ) {
         let pfc = self.cfg.pfc;
+        let trace_port = self.tracer.wants(Subsystem::Port);
+        let (tr_flow, tr_bytes) = (pkt.flow, pkt.wire_size);
         let n = &mut self.nodes[node.idx()];
         let is_switch = n.kind == NodeKind::Switch;
         let p = &mut n.ports[port.idx()];
+        let marked_before = p.ecn_marked();
         let start = match p.enqueue(pkt, &mut self.red_rng) {
             Ok(start) => start,
             Err(dropped) => {
                 // Tail drop: the flow recovers via go-back-N (receiver
                 // NACK on the sequence gap, or the RTO for tail losses).
                 self.dropped_data += 1;
+                self.tracer.record(
+                    now,
+                    TraceEvent::PortDrop {
+                        node: node.0,
+                        port: port.0,
+                        flow: tr_flow.0,
+                        bytes: tr_bytes,
+                    },
+                );
                 self.pool.put(dropped);
                 return;
             }
         };
+        if trace_port {
+            let qbytes = p.qbytes();
+            self.tracer.record(
+                now,
+                TraceEvent::PortEnqueue {
+                    node: node.0,
+                    port: port.0,
+                    flow: tr_flow.0,
+                    bytes: tr_bytes,
+                    qbytes,
+                },
+            );
+            if p.ecn_marked() > marked_before {
+                self.tracer.record(
+                    now,
+                    TraceEvent::EcnMark {
+                        node: node.0,
+                        port: port.0,
+                        flow: tr_flow.0,
+                        qbytes,
+                    },
+                );
+            }
+        }
         // PFC: did this enqueue push the port into the over-XOFF regime?
         // Only switches assert pause (see `pfc` module docs).
         let mut assert_pause = false;
@@ -511,6 +590,16 @@ impl Network {
                     release = true;
                 }
             }
+            self.tracer.record(
+                now,
+                TraceEvent::PortDequeue {
+                    node: node.0,
+                    port: port.0,
+                    flow: pkt.flow.0,
+                    bytes: pkt.wire_size,
+                    qbytes: p.qbytes(),
+                },
+            );
             (pkt, ser, p.peer, p.prop)
         };
         if release {
@@ -671,6 +760,19 @@ impl Network {
                         hops: pkt.hops,
                     };
                     f.cc.on_ack(&fb);
+                    f.acks_seen += 1;
+                    if self.tracer.wants_cc(f.acks_seen) {
+                        let snap = f.cc.snapshot();
+                        self.tracer.record(
+                            now,
+                            TraceEvent::CcUpdate {
+                                flow: f.id.0,
+                                window_bytes: snap.window_bytes,
+                                rate_bps: snap.rate.as_u64(),
+                                vai_bank: snap.vai_bank,
+                            },
+                        );
+                    }
                     if f.acked >= f.spec.size.as_u64() && f.finished.is_none() {
                         f.finished = Some(now);
                         (
@@ -696,6 +798,14 @@ impl Network {
                 };
                 self.pool.put(pkt);
                 if done {
+                    self.tracer.record(
+                        now,
+                        TraceEvent::FlowFinish {
+                            flow: rec.flow.0,
+                            bytes: rec.size.as_u64(),
+                            fct_ns: rec.fct().as_u64(),
+                        },
+                    );
                     self.monitor.record_fct(rec);
                 } else {
                     self.flows[fi].last_progress = now;
@@ -732,7 +842,14 @@ impl World for Network {
 
     fn handle<S: Scheduler<Event>>(&mut self, now: Nanos, event: Event, q: &mut S) {
         match event {
-            Event::FlowStart(f) => self.try_send(f.idx(), now, q),
+            Event::FlowStart(f) => {
+                if self.tracer.wants(Subsystem::Flow) {
+                    let bytes = self.flows[f.idx()].spec.size.as_u64();
+                    self.tracer
+                        .record(now, TraceEvent::FlowStart { flow: f.0, bytes });
+                }
+                self.try_send(f.idx(), now, q)
+            }
             Event::FlowTrySend(f) => {
                 self.flows[f.idx()].pace_armed = false;
                 self.try_send(f.idx(), now, q);
@@ -754,6 +871,14 @@ impl World for Network {
             Event::CcTimer(f) => self.on_cc_timer(f.idx(), now, q),
             Event::Rto(f) => self.on_rto(f.idx(), now, q),
             Event::PfcSet { node, port, paused } => {
+                self.tracer.record(
+                    now,
+                    TraceEvent::PfcPause {
+                        node: node.0,
+                        port: port.0,
+                        paused,
+                    },
+                );
                 let p = &mut self.nodes[node.idx()].ports[port.idx()];
                 p.pause.apply(paused);
                 if !p.is_paused() && p.has_backlog() && !p.busy {

@@ -283,6 +283,23 @@ impl Port {
     pub fn is_paused(&self) -> bool {
         self.pause.is_paused()
     }
+
+    /// Publish this port's cumulative counters into the metrics registry
+    /// under `port.<node>.<port>.*` keys. Ports that never saw traffic
+    /// stay out of the registry to keep large-topology output small.
+    pub fn publish_metrics(&self, node: u32, port: u16, reg: &mut simtrace::MetricsRegistry) {
+        if self.enq_packets == 0 {
+            return;
+        }
+        let prefix = format!("port.{node}.{port}");
+        reg.counter_set(&format!("{prefix}.tx_bytes"), self.tx_bytes);
+        reg.counter_set(&format!("{prefix}.tx_packets"), self.tx_packets);
+        reg.counter_set(&format!("{prefix}.enq_bytes"), self.enq_bytes);
+        reg.counter_set(&format!("{prefix}.enq_packets"), self.enq_packets);
+        reg.counter_set(&format!("{prefix}.max_qbytes"), self.max_qbytes);
+        reg.counter_set(&format!("{prefix}.dropped_packets"), self.dropped_packets);
+        reg.counter_set(&format!("{prefix}.ecn_marked"), self.ecn_marked);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,191 @@
+//! Validate simtrace JSONL files: schema shape and time ordering.
+//!
+//! Usage: `tracecheck <file.jsonl | directory>...`
+//!
+//! For each argument, validates the file (or every `*.jsonl` file in the
+//! directory, recursively one level) against the simtrace event schema:
+//! every line is a JSON object with a non-decreasing integer `t`, a known
+//! `sub`/`ev` pair, and the payload fields that event requires.
+//!
+//! Exit codes: 0 all valid, 1 validation failure, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use minijson::Value;
+
+/// One validation problem, with enough context to locate it.
+struct Problem {
+    file: PathBuf,
+    line: usize,
+    what: String,
+}
+
+impl std::fmt::Display for Problem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.what)
+    }
+}
+
+/// The integer payload fields required by each event name.
+fn required_u64_fields(ev: &str) -> Option<&'static [&'static str]> {
+    match ev {
+        "enqueue" | "dequeue" => Some(&["node", "port", "flow", "bytes", "qbytes"]),
+        "drop" => Some(&["node", "port", "flow", "bytes"]),
+        "ecn_mark" => Some(&["node", "port", "flow", "qbytes"]),
+        "pfc" => Some(&["node", "port"]),
+        "flow_start" => Some(&["flow", "bytes"]),
+        "flow_finish" => Some(&["flow", "bytes", "fct_ns"]),
+        "cc_update" => Some(&["flow", "rate_bps"]),
+        _ => None,
+    }
+}
+
+/// The subsystem each event name must be tagged with.
+fn expected_sub(ev: &str) -> &'static str {
+    match ev {
+        "enqueue" | "dequeue" | "drop" | "ecn_mark" => "port",
+        "pfc" => "pfc",
+        "flow_start" | "flow_finish" => "flow",
+        "cc_update" => "cc",
+        _ => "?",
+    }
+}
+
+/// Validate one JSONL document; push problems found.
+fn check_file(path: &Path, text: &str, problems: &mut Vec<Problem>) {
+    let mut last_t: u64 = 0;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let mut fail = |what: String| {
+            problems.push(Problem {
+                file: path.to_path_buf(),
+                line: lineno,
+                what,
+            });
+        };
+        if line.trim().is_empty() {
+            fail("blank line in JSONL stream".to_owned());
+            continue;
+        }
+        let v = match Value::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                fail(format!("not valid JSON: {e}"));
+                continue;
+            }
+        };
+        if v.as_object().is_none() {
+            fail("line is not a JSON object".to_owned());
+            continue;
+        }
+        let Some(t) = v["t"].as_u64() else {
+            fail("missing or non-integer 't'".to_owned());
+            continue;
+        };
+        if t < last_t {
+            fail(format!("time went backwards: {t} after {last_t}"));
+        }
+        last_t = t;
+        let Some(ev) = v["ev"].as_str() else {
+            fail("missing 'ev'".to_owned());
+            continue;
+        };
+        let ev = ev.to_owned();
+        let Some(required) = required_u64_fields(&ev) else {
+            fail(format!("unknown event '{ev}'"));
+            continue;
+        };
+        match v["sub"].as_str() {
+            Some(sub) if sub == expected_sub(&ev) => {}
+            Some(sub) => fail(format!(
+                "event '{ev}' tagged sub '{sub}', expected '{}'",
+                expected_sub(&ev)
+            )),
+            None => fail("missing 'sub'".to_owned()),
+        }
+        for &key in required {
+            if v[key].as_u64().is_none() {
+                fail(format!("event '{ev}' missing integer field '{key}'"));
+            }
+        }
+        if ev == "pfc" && v["paused"].as_bool().is_none() {
+            fail("event 'pfc' missing boolean field 'paused'".to_owned());
+        }
+        if ev == "cc_update" {
+            for key in ["window_bytes", "vai_bank"] {
+                if v[key].as_f64().is_none() {
+                    fail(format!("event 'cc_update' missing numeric field '{key}'"));
+                }
+            }
+        }
+    }
+}
+
+/// Expand an argument into the JSONL files it names.
+fn collect(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if path.is_dir() {
+        let entries = std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read directory {}: {e}", path.display()))?;
+        let mut files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file() && p.extension().and_then(|x| x.to_str()) == Some("jsonl"))
+            .collect();
+        files.sort();
+        Ok(files)
+    } else if path.is_file() {
+        Ok(vec![path.to_path_buf()])
+    } else {
+        Err(format!("no such file or directory: {}", path.display()))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: tracecheck <file.jsonl | directory>...");
+        return ExitCode::from(2);
+    }
+    let mut files = Vec::new();
+    for a in &args {
+        match collect(Path::new(a)) {
+            Ok(mut fs) => files.append(&mut fs),
+            Err(e) => {
+                eprintln!("tracecheck: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if files.is_empty() {
+        eprintln!("tracecheck: no .jsonl files found");
+        return ExitCode::from(2);
+    }
+    let mut problems = Vec::new();
+    let mut total_lines = 0usize;
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(text) => {
+                total_lines += text.lines().count();
+                check_file(f, &text, &mut problems);
+            }
+            Err(e) => {
+                eprintln!("tracecheck: cannot read {}: {e}", f.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if problems.is_empty() {
+        println!(
+            "tracecheck: OK — {} event(s) across {} file(s)",
+            total_lines,
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("{p}");
+        }
+        eprintln!("tracecheck: {} problem(s)", problems.len());
+        ExitCode::from(1)
+    }
+}

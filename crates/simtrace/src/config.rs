@@ -1,0 +1,245 @@
+//! Runtime trace configuration: level, subsystem filter, CC sampling.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How much to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Record nothing (one branch per instrumentation site).
+    #[default]
+    Off,
+    /// End-of-run counters and histograms only; no event buffer.
+    Counters,
+    /// Counters plus the full structured event stream.
+    Full,
+}
+
+/// An instrumented subsystem, used to filter the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Subsystem {
+    /// dcsim engine profiling (occupancy, dispatch).
+    Engine,
+    /// Switch egress ports: enqueue/dequeue/drop/ECN-mark.
+    Port,
+    /// Flow lifecycle: start/finish.
+    Flow,
+    /// Congestion-control state samples: cwnd/rate/VAI tokens.
+    Cc,
+    /// Priority flow control pause edges.
+    Pfc,
+}
+
+impl Subsystem {
+    /// Every subsystem, in mask-bit order.
+    pub const ALL: [Subsystem; 5] = [
+        Subsystem::Engine,
+        Subsystem::Port,
+        Subsystem::Flow,
+        Subsystem::Cc,
+        Subsystem::Pfc,
+    ];
+
+    /// Stable lowercase name (CLI `--trace-filter` values, JSONL `sub`
+    /// field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::Engine => "engine",
+            Subsystem::Port => "port",
+            Subsystem::Flow => "flow",
+            Subsystem::Cc => "cc",
+            Subsystem::Pfc => "pfc",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            Subsystem::Engine => 1 << 0,
+            Subsystem::Port => 1 << 1,
+            Subsystem::Flow => 1 << 2,
+            Subsystem::Cc => 1 << 3,
+            Subsystem::Pfc => 1 << 4,
+        }
+    }
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Subsystem {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Subsystem::ALL
+            .into_iter()
+            .find(|sub| sub.name() == s)
+            .ok_or_else(|| {
+                let known: Vec<&str> = Subsystem::ALL.into_iter().map(Subsystem::name).collect();
+                format!(
+                    "unknown subsystem '{s}' (expected one of {})",
+                    known.join(", ")
+                )
+            })
+    }
+}
+
+/// A set of [`Subsystem`]s, as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubsystemMask(u8);
+
+impl SubsystemMask {
+    /// Every subsystem enabled.
+    pub fn all() -> Self {
+        Subsystem::ALL
+            .into_iter()
+            .fold(SubsystemMask::none(), SubsystemMask::with)
+    }
+
+    /// No subsystem enabled.
+    pub fn none() -> Self {
+        SubsystemMask(0)
+    }
+
+    /// This mask plus `sub`.
+    pub fn with(self, sub: Subsystem) -> Self {
+        SubsystemMask(self.0 | sub.bit())
+    }
+
+    /// Whether `sub` is in the mask.
+    #[inline]
+    pub fn contains(self, sub: Subsystem) -> bool {
+        self.0 & sub.bit() != 0
+    }
+
+    /// Whether the mask is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for SubsystemMask {
+    fn default() -> Self {
+        SubsystemMask::all()
+    }
+}
+
+/// Runtime gate for the tracer: what to record and how often.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Recording level.
+    pub level: TraceLevel,
+    /// Which subsystems contribute to the event stream (ignored below
+    /// [`TraceLevel::Full`]).
+    pub subsystems: SubsystemMask,
+    /// Record one CC state sample every this many ACKs per flow
+    /// (1 = every ACK). Must be non-zero.
+    pub cc_sample_every: u32,
+}
+
+impl TraceConfig {
+    /// Record nothing.
+    pub fn off() -> Self {
+        TraceConfig {
+            level: TraceLevel::Off,
+            subsystems: SubsystemMask::all(),
+            cc_sample_every: 1,
+        }
+    }
+
+    /// Counters and histograms only.
+    pub fn counters() -> Self {
+        TraceConfig {
+            level: TraceLevel::Counters,
+            ..TraceConfig::off()
+        }
+    }
+
+    /// Full event stream from every subsystem.
+    pub fn full() -> Self {
+        TraceConfig {
+            level: TraceLevel::Full,
+            ..TraceConfig::off()
+        }
+    }
+
+    /// Restrict the event stream to `sub` only (repeatable: each call
+    /// adds to the filter, starting from an empty mask).
+    pub fn with_filter(mut self, sub: Subsystem) -> Self {
+        if self.subsystems == SubsystemMask::all() {
+            self.subsystems = SubsystemMask::none();
+        }
+        self.subsystems = self.subsystems.with(sub);
+        self
+    }
+
+    /// Set the CC sampling cadence (clamped to ≥ 1).
+    pub fn with_cc_sample_every(mut self, every: u32) -> Self {
+        self.cc_sample_every = every.max(1);
+        self
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order() {
+        assert!(TraceLevel::Off < TraceLevel::Counters);
+        assert!(TraceLevel::Counters < TraceLevel::Full);
+        assert_eq!(TraceLevel::default(), TraceLevel::Off);
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        let m = SubsystemMask::none()
+            .with(Subsystem::Port)
+            .with(Subsystem::Cc);
+        assert!(m.contains(Subsystem::Port));
+        assert!(m.contains(Subsystem::Cc));
+        assert!(!m.contains(Subsystem::Flow));
+        assert!(SubsystemMask::none().is_empty());
+        for sub in Subsystem::ALL {
+            assert!(SubsystemMask::all().contains(sub));
+        }
+    }
+
+    #[test]
+    fn subsystem_names_parse_back() {
+        for sub in Subsystem::ALL {
+            assert_eq!(sub.name().parse::<Subsystem>(), Ok(sub));
+        }
+        assert!("bogus".parse::<Subsystem>().is_err());
+    }
+
+    #[test]
+    fn filter_starts_from_empty_mask() {
+        let cfg = TraceConfig::full().with_filter(Subsystem::Port);
+        assert!(cfg.subsystems.contains(Subsystem::Port));
+        assert!(!cfg.subsystems.contains(Subsystem::Flow));
+        let both = cfg.with_filter(Subsystem::Flow);
+        assert!(both.subsystems.contains(Subsystem::Port));
+        assert!(both.subsystems.contains(Subsystem::Flow));
+    }
+
+    #[test]
+    fn cc_cadence_clamped() {
+        assert_eq!(
+            TraceConfig::full().with_cc_sample_every(0).cc_sample_every,
+            1
+        );
+        assert_eq!(
+            TraceConfig::full().with_cc_sample_every(8).cc_sample_every,
+            8
+        );
+    }
+}

@@ -89,8 +89,8 @@ struct Golden {
 }
 
 fn incast_golden_variant(scheduler: SchedulerKind, variant: Variant, seed: u64) -> Golden {
-    let mut sc = IncastScenario::paper(16, CcSpec::new(ProtocolKind::Hpcc, variant), seed);
-    sc.scheduler = scheduler;
+    let sc = IncastScenario::paper(16, CcSpec::new(ProtocolKind::Hpcc, variant), seed)
+        .with_scheduler(scheduler);
     let res = sc.run();
     assert!(res.all_finished, "incast must drain");
     let fcts: Vec<(u32, u64, u64)> = res
