@@ -14,6 +14,9 @@
 //! (mechanism generality), `ablation-permutation` (boundary of
 //! applicability), `ablation-sf-increases` (negative control),
 //! `ablation-degree` (incast-degree sweep), and `ablation-pfc`.
+//! `--faults` (or the `faults` figure name) runs the fault-injection
+//! sweep: slowdown CDFs under fabric wire loss and link flaps, baseline
+//! vs VAI+SF.
 //! `--json` emits machine-readable summaries for the fig* targets.
 //!
 //! Default scale runs the incast microbenchmarks exactly as in the paper
@@ -24,7 +27,7 @@
 //! `--trace DIR` writes per-variant trace artifacts under `DIR`
 //! (`<figure>.<variant>.trace.jsonl`, `.chrome.json` for Perfetto, and
 //! `.metrics.json`); `--trace-filter SUB` (repeatable) restricts event
-//! collection to the named subsystems (engine/port/flow/cc/pfc). The
+//! collection to the named subsystems (engine/port/flow/cc/pfc/fault). The
 //! binary must be built with `--features trace` for events to be
 //! recorded; without it `--trace` still runs but emits a warning.
 
@@ -46,6 +49,7 @@ fn main() {
         match args[i].as_str() {
             "--full-scale" => scale = Scale::Full,
             "--json" => json = true,
+            "--faults" => figures.push("faults".to_string()),
             "--seed" => {
                 i += 1;
                 seed = args
@@ -131,11 +135,11 @@ fn main() {
 fn print_usage() {
     eprintln!(
         "usage: repro <figure>... [--full-scale] [--seed N] [--json] \
-         [--scheduler heap|wheel] [--trace DIR] [--trace-filter SUB]... \
-         | repro all | repro list"
+         [--scheduler heap|wheel] [--faults] [--trace DIR] \
+         [--trace-filter SUB]... | repro all | repro list"
     );
     eprintln!("figures: {}", ALL_FIGURES.join(" "));
-    eprintln!("trace subsystems: engine port flow cc pfc");
+    eprintln!("trace subsystems: engine port flow cc pfc fault");
 }
 
 fn die(msg: &str) -> ! {

@@ -14,8 +14,9 @@ use fairsim::render::{f3, fmt_size, TextTable};
 use fairsim::scenarios::LONG_FLOW_BYTES;
 use fairsim::series::thin;
 use fairsim::{
-    CcSpec, DatacenterResult, DatacenterScenario, IncastResult, IncastScenario, ProtocolKind,
-    RunCtx, Scenario, SchedulerKind, TraceConfig, TraceLevel, Tracer, Variant,
+    CcSpec, DatacenterResult, DatacenterScenario, FaultResult, FaultScenario, IncastResult,
+    IncastScenario, ProtocolKind, RunCtx, Scenario, SchedulerKind, TraceConfig, TraceLevel, Tracer,
+    Variant,
 };
 use netsim::FatTreeConfig;
 use workloads::distributions;
@@ -611,6 +612,144 @@ pub fn fig13(ctx: &FigureCtx) -> String {
     )
 }
 
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Fault sweep: FCT-slowdown CDFs under fabric wire loss and a flapping
+/// agg–spine link, baseline HPCC vs VAI+SF.
+///
+/// This is the robustness companion to Figures 10-13: the fault plan
+/// injects loss (triggering go-back-N recovery and exponential RTO
+/// backoff) and periodic link flaps (triggering failover reroutes), and
+/// the figure checks that fast convergence to fairness survives — and
+/// that no cell wedges (every run outcome is reported).
+pub fn faults(ctx: &FigureCtx) -> String {
+    let rctx = ctx.run_ctx();
+    let flap = (Nanos::from_micros(200), Nanos::from_micros(40));
+    // The sweep grid: loss rate x flap cadence, plus a clean reference
+    // cell (which must reproduce the fault-free baseline bit-for-bit).
+    type Cell = (String, f64, Option<(Nanos, Nanos)>);
+    let grid: Vec<Cell> = vec![
+        ("clean".into(), 0.0, None),
+        ("loss 1e-4".into(), 1e-4, None),
+        ("loss 1e-3".into(), 1e-3, None),
+        ("flap 200us".into(), 0.0, Some(flap)),
+        ("loss 1e-3 + flap".into(), 1e-3, Some(flap)),
+    ];
+    let base = CcSpec::new(ProtocolKind::Hpcc, Variant::Default);
+    let treat = CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf);
+    let make = |cc: CcSpec, loss: f64, flap: Option<(Nanos, Nanos)>| {
+        let names = vec![distributions::FB_HADOOP.to_string()];
+        let mut sc = match ctx.scale {
+            Scale::Reduced => FaultScenario::reduced(names, cc, rctx.seed),
+            Scale::Full => FaultScenario {
+                fat_tree: FatTreeConfig::paper(),
+                horizon: Nanos::from_millis(50),
+                ..FaultScenario::reduced(names, cc, rctx.seed)
+            },
+        };
+        sc.loss = loss;
+        sc.flap = flap;
+        sc
+    };
+    let make = &make;
+    let results: Vec<(String, FaultResult, FaultResult)> = std::thread::scope(|s| {
+        let handles: Vec<_> = grid
+            .iter()
+            .map(|(name, loss, flap)| {
+                let (l, fl) = (*loss, *flap);
+                (
+                    name.clone(),
+                    s.spawn(move || make(base, l, fl).run_with(&rctx)),
+                    s.spawn(move || make(treat, l, fl).run_with(&rctx)),
+                )
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(name, hb, ht)| {
+                let b = join_labeled(hb, &format!("{name} / baseline"));
+                let t = join_labeled(ht, &format!("{name} / VAI+SF"));
+                (name, b, t)
+            })
+            .collect()
+    });
+    for (name, b, t) in &results {
+        for r in [b, t] {
+            if let Some(tracer) = &r.trace {
+                write_trace_artifacts(ctx, &format!("{name} {}", r.label), tracer);
+            }
+        }
+    }
+
+    let mut out =
+        String::from("== Fault sweep: FCT slowdown CDFs under loss and link flaps ==\n\n");
+    let mut tbl = TextTable::new(vec![
+        "cell", "variant", "offered", "done", "p50", "p90", "p99", "p99.9", "outcome",
+    ]);
+    for (name, b, t) in &results {
+        for r in [b, t] {
+            let mut v: Vec<f64> = r.raw.iter().map(|&(_, _, s)| s).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            tbl.row(vec![
+                name.clone(),
+                r.label.clone(),
+                r.n_flows.to_string(),
+                r.completed.to_string(),
+                f3(percentile(&v, 0.5)),
+                f3(percentile(&v, 0.9)),
+                f3(percentile(&v, 0.99)),
+                f3(percentile(&v, 0.999)),
+                r.outcome.name().to_string(),
+            ]);
+        }
+    }
+    out.push_str(&tbl.render());
+
+    out.push_str("\nFault-subsystem counters:\n");
+    let mut ftbl = TextTable::new(vec![
+        "cell",
+        "variant",
+        "wire drops",
+        "link-down drops",
+        "reroutes",
+        "rto fires",
+    ]);
+    for (name, b, t) in &results {
+        for r in [b, t] {
+            ftbl.row(vec![
+                name.clone(),
+                r.label.clone(),
+                r.faults.wire_drops.to_string(),
+                r.faults.link_down_drops.to_string(),
+                r.faults.reroutes.to_string(),
+                r.faults.rto_fires.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&ftbl.render());
+
+    out.push_str("\nPaired per-flow comparison (baseline -> VAI+SF):\n");
+    for (name, b, t) in &results {
+        let c = fairsim::PairedComparison::compute(&b.raw, &t.raw, LONG_FLOW_BYTES);
+        out.push_str(&format!(
+            "  {name:<18} {} paired flows; long flows (> {}): {:.0}% improved, \
+             geomean speedup {:.2}x\n",
+            c.n,
+            fmt_size(LONG_FLOW_BYTES),
+            c.long_frac_improved * 100.0,
+            c.long_geomean_speedup,
+        ));
+    }
+    out
+}
+
 /// Ablation: VAI alone vs SF alone vs both (16-1 incast, HPCC).
 pub fn ablation_mechanisms(ctx: &FigureCtx) -> String {
     let specs = [
@@ -669,7 +808,8 @@ where
             make_cc(seed.wrapping_mul(1009).wrapping_add(i as u64)),
         );
     }
-    let (mut net, events_handled, occupancy_hwm) = run_primed(net, sc.horizon, ctx.scheduler);
+    let (mut net, outcome, events_handled, occupancy_hwm) =
+        run_primed(net, sc.horizon, ctx.scheduler);
     let trace = if simtrace::ENABLED && ctx.trace.level != fairsim::TraceLevel::Off {
         net.publish_metrics();
         let tracer = net.take_tracer();
@@ -704,34 +844,37 @@ where
             .collect(),
         fcts: net.monitor.fcts().to_vec(),
         all_finished: net.all_finished(),
+        outcome,
         events_handled,
         occupancy_hwm,
         trace,
     }
 }
 
-/// Prime and run `net` until `deadline` on the selected scheduler,
-/// returning the world, the number of events dispatched, and the
-/// scheduler occupancy high-water mark.
+/// Prime and run `net` until `deadline` on the selected scheduler (with
+/// the standard stall watchdog), returning the world, the run outcome,
+/// the number of events dispatched, and the scheduler occupancy
+/// high-water mark.
 fn run_primed(
     net: netsim::Network,
     deadline: Nanos,
     scheduler: SchedulerKind,
-) -> (netsim::Network, u64, u64) {
+) -> (netsim::Network, netsim::RunOutcome, u64, u64) {
     use dcsim::{EventQueue, Scheduler, Simulation, TimingWheel};
     fn go<S: Scheduler<netsim::Event> + Default>(
         net: netsim::Network,
         deadline: Nanos,
-    ) -> (netsim::Network, u64, u64) {
+    ) -> (netsim::Network, netsim::RunOutcome, u64, u64) {
         let mut sim = Simulation::with_scheduler(net, S::default());
         {
             let (w, q) = sim.split_mut();
             w.prime(q);
         }
-        sim.run_until(deadline);
+        let watchdog = Nanos(deadline.as_u64() / 4).max(Nanos::from_millis(1));
+        let outcome = netsim::run_watched(&mut sim, deadline, u64::MAX, watchdog);
         let handled = sim.events_handled();
         let occupancy = sim.occupancy_high_water() as u64;
-        (sim.into_world(), handled, occupancy)
+        (sim.into_world(), outcome, handled, occupancy)
     }
     match scheduler {
         SchedulerKind::Heap => go::<EventQueue<netsim::Event>>(net, deadline),
@@ -1111,6 +1254,7 @@ pub fn run_figure(name: &str, ctx: &FigureCtx) -> Option<String> {
         "ablation-sf-increases" => ablation_sf_increases(ctx),
         "ablation-degree" => ablation_degree(ctx),
         "ablation-pfc" => ablation_pfc(ctx),
+        "faults" => faults(ctx),
         _ => return None,
     })
 }
@@ -1138,6 +1282,7 @@ pub const ALL_FIGURES: &[&str] = &[
     "ablation-sf-increases",
     "ablation-degree",
     "ablation-pfc",
+    "faults",
 ];
 
 #[cfg(test)]

@@ -197,6 +197,19 @@ impl CongestionControl for Dcqcn {
         }
     }
 
+    fn on_rto(&mut self, _now: Nanos) {
+        // Timeout = sustained loss, far beyond what a CNP signals: treat
+        // α as saturated, halve the rate, and restart both recovery
+        // ladders from fast recovery.
+        self.rt = self.rc;
+        self.rc *= 0.5;
+        self.alpha = 1.0;
+        self.t_iters = 0;
+        self.b_iters = 0;
+        self.bytes_since = 0;
+        self.clamp();
+    }
+
     fn limits(&self) -> SenderLimits {
         SenderLimits::rate_based(BitRate::from_bps_f64(self.rc))
     }

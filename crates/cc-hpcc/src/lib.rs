@@ -320,6 +320,16 @@ impl CongestionControl for Hpcc {
         self.snd_nxt += bytes.as_u64();
     }
 
+    fn on_rto(&mut self, _now: Nanos) {
+        // A retransmission timeout means the pipe collapsed (loss burst
+        // or outage): halve the window, commit it as the new reference,
+        // and restart the increase ladder.
+        let w_max = self.cfg.max_window();
+        self.window = (self.window * 0.5).clamp(100.0, w_max);
+        self.w_ref = self.window;
+        self.inc_stage = 0;
+    }
+
     fn limits(&self) -> SenderLimits {
         SenderLimits::windowed(self.window, self.cfg.base_rtt)
     }

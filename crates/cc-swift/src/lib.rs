@@ -401,6 +401,18 @@ impl CongestionControl for Swift {
         self.clamp();
     }
 
+    fn on_rto(&mut self, now: Nanos) {
+        // Retransmission timeout: apply Swift's maximum multiplicative
+        // decrease from the reference window and reset the hyper-AI
+        // clear-path streak — the path is anything but clear.
+        self.cwnd = self.ref_cwnd * self.cfg.max_mdf;
+        self.ref_cwnd = self.cwnd;
+        self.last_decrease = now;
+        self.clear_rtts = 0;
+        self.congested_this_rtt = true;
+        self.clamp();
+    }
+
     fn limits(&self) -> SenderLimits {
         SenderLimits::windowed(self.cwnd * self.cfg.mtu as f64, self.cfg.base_rtt)
     }

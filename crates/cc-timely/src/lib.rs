@@ -248,6 +248,15 @@ impl CongestionControl for Timely {
         self.clamp();
     }
 
+    fn on_rto(&mut self, now: Nanos) {
+        // Timeout: halve the rate and forget the good-event streak so
+        // hyper active increase cannot fire right after an outage.
+        self.rate *= 0.5;
+        self.good_events = 0;
+        self.last_decrease = now;
+        self.clamp();
+    }
+
     fn limits(&self) -> SenderLimits {
         SenderLimits::rate_based(BitRate::from_bps_f64(self.rate))
     }

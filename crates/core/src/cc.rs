@@ -90,6 +90,13 @@ pub trait CongestionControl: Send {
     /// Timer callback (see [`next_timer`](Self::next_timer)).
     fn on_timer(&mut self, _now: Nanos) {}
 
+    /// A retransmission timeout fired for this flow: the network saw no
+    /// ACK progress for a full (backed-off) RTO and is rewinding to
+    /// go-back-N. Protocols should treat this as a severe congestion
+    /// signal (at least a multiplicative decrease). Default: nothing,
+    /// for protocol-neutral fixtures.
+    fn on_rto(&mut self, _now: Nanos) {}
+
     /// The current transmission limits for this flow.
     fn limits(&self) -> SenderLimits;
 
@@ -172,6 +179,7 @@ mod tests {
         cc.on_cnp(Nanos(1));
         cc.on_send(Nanos(1), Bytes(10));
         cc.on_timer(Nanos(2));
+        cc.on_rto(Nanos(3));
         assert_eq!(cc.next_timer(), None);
         assert_eq!(cc.current_rate(), BitRate::from_gbps(1));
         assert_eq!(cc.name(), "fixed");

@@ -59,7 +59,8 @@ impl DetRng {
     /// Derive an independent child stream.
     ///
     /// `label` identifies the consumer (e.g. 0 = workload, 1 = ECMP,
-    /// 2 = RED, 3 = probabilistic feedback). The child depends only on
+    /// 2 = RED, 3 = probabilistic feedback, 4 = fault injection). The
+    /// child depends only on
     /// `(seed, label)`, never on how much randomness the parent has already
     /// consumed, which keeps subsystems decoupled.
     pub fn stream(&self, label: u64) -> DetRng {

@@ -185,6 +185,7 @@ mod tests {
                 finish: dcsim::Nanos(5_000),
             }],
             all_finished: true,
+            outcome: netsim::RunOutcome::Completed,
             events_handled: 0,
             occupancy_hwm: 0,
             trace: None,
@@ -238,6 +239,7 @@ mod tests {
             n_flows: 2,
             completed: 2,
             raw: vec![(0, 1_000, 2.0), (1, 2_000_000, 10.0)],
+            outcome: netsim::RunOutcome::Completed,
             events_handled: 0,
             occupancy_hwm: 0,
             trace: None,

@@ -30,8 +30,8 @@ pub mod spec;
 pub use analysis::PairedComparison;
 pub use export::{DatacenterSummary, IncastSummary};
 pub use scenarios::{
-    DatacenterResult, DatacenterScenario, IncastResult, IncastScenario, RunCtx, Scenario,
-    TraceResult, TraceScenario,
+    DatacenterResult, DatacenterScenario, FaultResult, FaultScenario, IncastResult, IncastScenario,
+    RunCtx, Scenario, TraceResult, TraceScenario,
 };
 pub use spec::{CcOptions, CcSpec, NetEnv, ProtocolKind, Variant};
 

@@ -1,8 +1,11 @@
 //! The experiment drivers, unified behind the [`Scenario`] trait.
 
-use dcsim::{EventQueue, Nanos, RunOutcome, Scheduler, SchedulerKind, Simulation, TimingWheel};
+use dcsim::{EventQueue, Nanos, Scheduler, SchedulerKind, Simulation, TimingWheel};
 use metrics::{jain, SlowdownRecord, SlowdownTable};
-use netsim::{FatTreeConfig, FctRecord, FlowSpec, MonitorConfig, NetConfig, Network, Topology};
+use netsim::{
+    run_watched, FatTreeConfig, FaultPlan, FaultStats, FctRecord, FlapSchedule, FlowSpec,
+    LinkFault, LossModel, MonitorConfig, NetConfig, Network, RtoBackoff, RunOutcome, Topology,
+};
 use simtrace::{TraceConfig, TraceLevel, Tracer};
 use workloads::{
     arrivals::{mixed_arrivals, ArrivalConfig},
@@ -67,11 +70,13 @@ pub trait Scenario {
     fn run_with(&self, ctx: &RunCtx) -> Self::Outcome;
 }
 
-/// Prime and run a primed network to `deadline` under scheduler `S`.
+/// Prime and run a primed network to `deadline` under scheduler `S`,
+/// with a stall watchdog (see [`netsim::run_watched`]).
 ///
 /// Every scenario funnels through here, so heap and wheel runs execute the
 /// exact same driver code — the scheduler is the only degree of freedom,
-/// which is what the scheduler-equivalence tests rely on.
+/// which is what the scheduler-equivalence tests rely on. The watchdog
+/// chunking is event-order transparent, so it does not perturb results.
 ///
 /// The final `u64` is the scheduler's occupancy high-water mark (0 unless
 /// the `trace` feature is compiled in).
@@ -79,13 +84,14 @@ fn drive<S: Scheduler<netsim::Event> + Default>(
     net: Network,
     deadline: Nanos,
     budget: u64,
+    watchdog: Nanos,
 ) -> (Network, RunOutcome, u64, u64) {
     let mut sim = Simulation::with_scheduler(net, S::default());
     {
         let (w, q) = sim.split_mut();
         w.prime(q);
     }
-    let outcome = sim.run_with_budget(deadline, budget);
+    let outcome = run_watched(&mut sim, deadline, budget, watchdog);
     let handled = sim.events_handled();
     let occupancy = sim.occupancy_high_water() as u64;
     (sim.into_world(), outcome, handled, occupancy)
@@ -97,11 +103,21 @@ pub(crate) fn run_network(
     net: Network,
     deadline: Nanos,
     budget: u64,
+    watchdog: Nanos,
 ) -> (Network, RunOutcome, u64, u64) {
     match kind {
-        SchedulerKind::Heap => drive::<EventQueue<netsim::Event>>(net, deadline, budget),
-        SchedulerKind::Wheel => drive::<TimingWheel<netsim::Event>>(net, deadline, budget),
+        SchedulerKind::Heap => drive::<EventQueue<netsim::Event>>(net, deadline, budget, watchdog),
+        SchedulerKind::Wheel => {
+            drive::<TimingWheel<netsim::Event>>(net, deadline, budget, watchdog)
+        }
     }
+}
+
+/// Default stall-watchdog window for a run with the given deadline: a
+/// quarter of the deadline, floored at 1 ms so RTT-scale quiet spells and
+/// backed-off RTO waits never read as stalls (see [`netsim::run_watched`]).
+fn default_watchdog(deadline: Nanos) -> Nanos {
+    Nanos(deadline.as_u64() / 4).max(Nanos::from_millis(1))
 }
 
 /// Install a tracer on a freshly built network, honoring the spec-level
@@ -228,10 +244,15 @@ impl Scenario for IncastScenario {
             );
         }
 
-        let (mut net, outcome, events_handled, occupancy_hwm) =
-            run_network(ctx.scheduler, net, self.horizon, 2_000_000_000);
+        let (mut net, outcome, events_handled, occupancy_hwm) = run_network(
+            ctx.scheduler,
+            net,
+            self.horizon,
+            2_000_000_000,
+            default_watchdog(self.horizon),
+        );
         assert!(
-            outcome != RunOutcome::BudgetExhausted,
+            outcome != RunOutcome::Budget,
             "incast run exploded its event budget"
         );
 
@@ -258,6 +279,7 @@ impl Scenario for IncastScenario {
             queue: queue_series,
             fcts,
             all_finished,
+            outcome,
             events_handled,
             occupancy_hwm,
             trace: finish_tracer(&mut net),
@@ -312,6 +334,9 @@ pub struct IncastResult {
     pub fcts: Vec<FctRecord>,
     /// Whether every flow completed before the horizon.
     pub all_finished: bool,
+    /// Structured run disposition from the stall watchdog (completed /
+    /// horizon / stalled / budget).
+    pub outcome: RunOutcome,
     /// Events the engine dispatched (scheduler-invariant; the perf
     /// baseline divides this by wall time for events/sec).
     pub events_handled: u64,
@@ -494,8 +519,13 @@ impl Scenario for DatacenterScenario {
         // Arrivals stop at the horizon; give the tail 4x the horizon to
         // drain (starved long flows are exactly what we are measuring).
         let drain_deadline = Nanos(self.horizon.as_u64() * 5);
-        let (mut net, _, events_handled, occupancy_hwm) =
-            run_network(ctx.scheduler, net, drain_deadline, 20_000_000_000);
+        let (mut net, outcome, events_handled, occupancy_hwm) = run_network(
+            ctx.scheduler,
+            net,
+            drain_deadline,
+            20_000_000_000,
+            default_watchdog(drain_deadline),
+        );
 
         let completed = net.monitor.fcts().len();
         let mut raw: Vec<(u32, u64, f64)> = Vec::with_capacity(completed);
@@ -523,6 +553,7 @@ impl Scenario for DatacenterScenario {
             n_flows,
             completed,
             raw,
+            outcome,
             events_handled,
             occupancy_hwm,
             trace: finish_tracer(&mut net),
@@ -544,6 +575,9 @@ pub struct DatacenterResult {
     /// Per-flow raw outcomes `(flow id, size, slowdown)` for paired
     /// cross-variant analysis (see [`crate::analysis`]).
     pub raw: Vec<(u32, u64, f64)>,
+    /// Structured run disposition from the stall watchdog (completed /
+    /// horizon / stalled / budget).
+    pub outcome: RunOutcome,
     /// Events the engine dispatched (see [`IncastResult::events_handled`]).
     pub events_handled: u64,
     /// Scheduler occupancy high-water mark (0 unless the `trace`
@@ -591,6 +625,9 @@ pub struct TraceResult {
     pub jain: Vec<(f64, f64)>,
     /// Whether every flow completed before the deadline.
     pub all_finished: bool,
+    /// Structured run disposition from the stall watchdog (completed /
+    /// horizon / stalled / budget).
+    pub outcome: RunOutcome,
     /// Scheduler occupancy high-water mark (0 unless the `trace`
     /// feature is compiled in).
     pub occupancy_hwm: u64,
@@ -652,8 +689,13 @@ impl Scenario for TraceScenario {
                 cc,
             );
         }
-        let (mut net, _, _, occupancy_hwm) =
-            run_network(ctx.scheduler, net, self.deadline, 20_000_000_000);
+        let (mut net, outcome, _, occupancy_hwm) = run_network(
+            ctx.scheduler,
+            net,
+            self.deadline,
+            20_000_000_000,
+            default_watchdog(self.deadline),
+        );
         let raw: Vec<(u32, u64, f64)> = net
             .monitor
             .fcts()
@@ -685,10 +727,291 @@ impl Scenario for TraceScenario {
             raw,
             jain,
             all_finished,
+            outcome,
             occupancy_hwm,
             trace: finish_tracer(&mut net),
         }
     }
+}
+
+/// A fat-tree datacenter run under deterministic fault injection: wire
+/// loss on every fabric (switch–switch) link plus an optional periodic
+/// flap of one agg–spine link, with exponential RTO backoff and failover
+/// rerouting absorbing the damage.
+///
+/// The family sweeps two knobs — mean loss rate and flap cadence — and
+/// reports slowdowns against the *pristine* ideal FCTs (the denominator
+/// ignores outages, so rerouting detours and retransmissions show up as
+/// slowdown, exactly like the paper's tail-latency figures).
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Topology.
+    pub fat_tree: FatTreeConfig,
+    /// Workload distribution names (see [`DatacenterScenario::workloads`]).
+    pub workloads: Vec<String>,
+    /// Offered load fraction.
+    pub load: f64,
+    /// Arrival horizon (the run drains for 4x longer afterwards).
+    pub horizon: Nanos,
+    /// Protocol under test.
+    pub cc: CcSpec,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Event scheduler backing the run.
+    pub scheduler: SchedulerKind,
+    /// Mean per-packet loss probability applied to every fabric link
+    /// (0 = no wire loss).
+    pub loss: f64,
+    /// Model the loss as bursty Gilbert–Elliott (same mean as `loss`)
+    /// instead of uniform Bernoulli.
+    pub bursty: bool,
+    /// Flap one agg–spine link `(period, down_for)`: down for `down_for`
+    /// once every `period`, for the whole run. ECMP siblings survive, so
+    /// the fabric stays connected and traffic fails over.
+    pub flap: Option<(Nanos, Nanos)>,
+}
+
+impl FaultScenario {
+    /// The reduced-scale default: 32-host fat-tree, 2 ms of arrivals,
+    /// no faults until the knobs are set (chain [`with_loss`] /
+    /// [`with_flap`]).
+    ///
+    /// [`with_loss`]: FaultScenario::with_loss
+    /// [`with_flap`]: FaultScenario::with_flap
+    pub fn reduced(workloads: Vec<String>, cc: CcSpec, seed: u64) -> Self {
+        FaultScenario {
+            fat_tree: FatTreeConfig::reduced(),
+            workloads,
+            load: 0.5,
+            horizon: Nanos::from_millis(2),
+            cc,
+            seed,
+            scheduler: SchedulerKind::default(),
+            loss: 0.0,
+            bursty: false,
+            flap: None,
+        }
+    }
+
+    /// Set the mean fabric loss rate (chainable).
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Use bursty Gilbert–Elliott loss instead of uniform (chainable).
+    pub fn with_bursty(mut self) -> Self {
+        self.bursty = true;
+        self
+    }
+
+    /// Flap one agg–spine link: down for `down_for` every `period`
+    /// (chainable).
+    pub fn with_flap(mut self, period: Nanos, down_for: Nanos) -> Self {
+        self.flap = Some((period, down_for));
+        self
+    }
+
+    /// Select the event-scheduler backend (chainable).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Compatibility shim mirroring the other scenarios: run under a
+    /// context assembled from this scenario's own fields, tracing off.
+    pub fn run(&self) -> FaultResult {
+        self.run_with(&RunCtx::new(self.seed).with_scheduler(self.scheduler))
+    }
+
+    /// The loss model realizing `self.loss` as a long-run mean.
+    ///
+    /// The bursty channel is clean while good and parks 1/6 of packets
+    /// in the bad state (enter 0.05 / exit 0.25), so the bad-state loss
+    /// is scaled 6x to preserve the requested mean.
+    fn loss_model(&self) -> LossModel {
+        if self.bursty {
+            let (p_enter, p_exit) = (0.05, 0.25);
+            let pi_bad = p_enter / (p_enter + p_exit);
+            LossModel::bursty(p_enter, p_exit, (self.loss / pi_bad).min(1.0))
+        } else {
+            LossModel::uniform(self.loss)
+        }
+    }
+
+    /// Build the fault plan against the constructed topology: loss on
+    /// every fabric link, the flap on the *last* fabric link (an
+    /// agg–spine link in the fat tree, which always has ECMP siblings).
+    fn fault_plan(&self, topo: &Topology, deadline: Nanos) -> FaultPlan {
+        let is_switch = |n: netsim::NodeId| topo.switches.contains(&n);
+        let fabric: Vec<(netsim::NodeId, netsim::NodeId)> = topo
+            .links
+            .iter()
+            .copied()
+            .filter(|&(a, b)| is_switch(a) && is_switch(b))
+            .collect();
+        assert!(
+            !fabric.is_empty(),
+            "fault scenario requires a topology with fabric links"
+        );
+        let mut plan = FaultPlan::none();
+        for (i, &(a, b)) in fabric.iter().enumerate() {
+            let mut f = LinkFault::on(a, b);
+            if self.loss > 0.0 {
+                f = f.with_loss(self.loss_model());
+            }
+            if i == fabric.len() - 1 {
+                if let Some((period, down_for)) = self.flap {
+                    assert!(
+                        down_for < period,
+                        "flap outage must be shorter than its period"
+                    );
+                    let cycles = (deadline.as_u64() / period.as_u64()).max(1);
+                    f = f.with_flap(FlapSchedule::periodic(
+                        period,
+                        down_for,
+                        period,
+                        u32::try_from(cycles).unwrap_or(u32::MAX),
+                    ));
+                }
+            }
+            if f.loss.is_some() || f.flap.is_some() {
+                plan = plan.link(f);
+            }
+        }
+        plan
+    }
+}
+
+impl Scenario for FaultScenario {
+    type Outcome = FaultResult;
+
+    /// Run under the fault plan and build the slowdown table.
+    fn run_with(&self, ctx: &RunCtx) -> FaultResult {
+        let topo = self.fat_tree.build();
+        let env = NetEnv::fat_tree(topo.base_rtt);
+        let hosts = topo.hosts.clone();
+        let drain_deadline = Nanos(self.horizon.as_u64() * 5);
+        let faults = self.fault_plan(&topo, drain_deadline);
+
+        let mut builder = topo.builder;
+        if self.cc.needs_red() {
+            builder.red_on_switches(netsim::RedConfig::dcqcn_100g());
+        }
+        // Backoff cap well below the watchdog window: a stalled-looking
+        // flow that is merely waiting out its backed-off RTO must get a
+        // retransmission attempt within every watchdog chunk.
+        let rto_cap = Nanos::from_millis(1);
+        let mut net = builder.build(
+            NetConfig {
+                seed: ctx.seed,
+                faults,
+                rto_backoff: RtoBackoff {
+                    multiplier: 2,
+                    cap: rto_cap,
+                    jitter_frac: 0.1,
+                },
+                ..NetConfig::default()
+            },
+            MonitorConfig::default(),
+        );
+        install_tracer(&mut net, &self.cc, ctx);
+
+        let dists: Vec<_> = self
+            .workloads
+            .iter()
+            .map(|n| distributions::by_name(n).unwrap_or_else(|| panic!("unknown workload {n}")))
+            .collect();
+        let dist_refs: Vec<&workloads::EmpiricalCdf> = dists.iter().collect();
+        let arrivals = mixed_arrivals(
+            &ArrivalConfig {
+                n_hosts: hosts.len(),
+                host_rate: self.fat_tree.host_rate,
+                load: self.load,
+                horizon: self.horizon,
+                seed: ctx.seed ^ 0xD15C0,
+            },
+            &dist_refs,
+        );
+        let n_flows = arrivals.len();
+        for (i, f) in arrivals.iter().enumerate() {
+            let cc = self
+                .cc
+                .build(&env, ctx.seed.wrapping_mul(31).wrapping_add(i as u64));
+            net.add_flow(
+                FlowSpec {
+                    src: hosts[f.src],
+                    dst: hosts[f.dst],
+                    size: f.size,
+                    start: f.start,
+                },
+                cc,
+            );
+        }
+
+        let watchdog = default_watchdog(drain_deadline).max(Nanos(rto_cap.as_u64() * 5));
+        let (mut net, outcome, events_handled, occupancy_hwm) =
+            run_network(ctx.scheduler, net, drain_deadline, 20_000_000_000, watchdog);
+
+        let completed = net.monitor.fcts().len();
+        let mut raw: Vec<(u32, u64, f64)> = Vec::with_capacity(completed);
+        let records: Vec<SlowdownRecord> = net
+            .monitor
+            .fcts()
+            .iter()
+            .map(|r| {
+                // ideal_fct routes over the pristine (pre-fault) table,
+                // so outages inflate the numerator only.
+                let ideal = net.ideal_fct(r.flow);
+                let slowdown = (r.fct().as_u64() as f64 / ideal.as_u64() as f64).max(1.0);
+                raw.push((r.flow.0, r.size.as_u64(), slowdown));
+                SlowdownRecord {
+                    size: r.size.as_u64(),
+                    slowdown,
+                }
+            })
+            .collect();
+        let table = SlowdownTable::build(records, 100, 99.9);
+        FaultResult {
+            label: self.cc.label(),
+            table,
+            n_flows,
+            completed,
+            raw,
+            outcome,
+            faults: net.fault_stats(),
+            events_handled,
+            occupancy_hwm,
+            trace: finish_tracer(&mut net),
+        }
+    }
+}
+
+/// Output of one fault-injection run.
+#[derive(Debug, Clone)]
+pub struct FaultResult {
+    /// Figure-legend label.
+    pub label: String,
+    /// Binned slowdown statistics (vs. pristine ideal FCTs).
+    pub table: SlowdownTable,
+    /// Flows offered.
+    pub n_flows: usize,
+    /// Flows completed before the drain deadline.
+    pub completed: usize,
+    /// Per-flow raw outcomes `(flow id, size, slowdown)`.
+    pub raw: Vec<(u32, u64, f64)>,
+    /// Structured run disposition from the stall watchdog.
+    pub outcome: RunOutcome,
+    /// Fault-subsystem counters (wire drops, link-down drops, reroutes,
+    /// RTO firings).
+    pub faults: FaultStats,
+    /// Events the engine dispatched.
+    pub events_handled: u64,
+    /// Scheduler occupancy high-water mark (0 unless the `trace`
+    /// feature is compiled in).
+    pub occupancy_hwm: u64,
+    /// Collected trace events and metrics; `None` when tracing was off.
+    pub trace: Option<Tracer>,
 }
 
 /// Largest flow size still counted as "small" when summarizing long-flow
@@ -771,6 +1094,7 @@ mod tests {
             queue: vec![(0.0, 100), (10.0, 50)],
             fcts: vec![],
             all_finished: true,
+            outcome: RunOutcome::Completed,
             events_handled: 0,
             occupancy_hwm: 0,
             trace: None,
@@ -890,6 +1214,81 @@ mod tests {
         assert_eq!(heap.fcts, wheel.fcts);
         assert_eq!(heap.jain, wheel.jain);
         assert_eq!(heap.queue, wheel.queue);
+    }
+
+    #[test]
+    fn fault_scenario_with_no_knobs_matches_clean_run() {
+        // loss = 0, no flap: the fault plan is empty, so the run must be
+        // bit-identical to the plain DatacenterScenario (zero-cost-when-
+        // off, end to end through the scenario layer).
+        let workloads = vec![distributions::FB_HADOOP.to_string()];
+        let cc = CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf);
+        let clean = DatacenterScenario {
+            horizon: Nanos::from_micros(300),
+            ..DatacenterScenario::reduced(workloads.clone(), cc, 2)
+        }
+        .run();
+        let faulty = FaultScenario {
+            horizon: Nanos::from_micros(300),
+            ..FaultScenario::reduced(workloads, cc, 2)
+        };
+        assert!(faulty
+            .fault_plan(&faulty.fat_tree.build(), Nanos::from_millis(1))
+            .is_empty());
+        let res = faulty.run();
+        assert_eq!(res.raw, clean.raw, "empty fault plan changed results");
+        assert_eq!(res.faults, netsim::FaultStats::default());
+        assert_eq!(res.outcome, clean.outcome);
+    }
+
+    #[test]
+    fn fault_scenario_survives_loss_and_flaps() {
+        let sc = FaultScenario {
+            horizon: Nanos::from_micros(300),
+            ..FaultScenario::reduced(
+                vec![distributions::FB_HADOOP.to_string()],
+                CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+                2,
+            )
+        }
+        .with_loss(1e-3)
+        .with_flap(Nanos::from_micros(200), Nanos::from_micros(40));
+        let res = sc.run();
+        assert!(res.n_flows > 0);
+        assert!(res.completed > 0, "no flows completed under faults");
+        // The injected faults actually fired.
+        assert!(res.faults.reroutes >= 2, "flap produced no reroutes");
+        assert!(
+            res.faults.wire_drops + res.faults.link_down_drops > 0,
+            "no packets were harmed"
+        );
+        for &(_, _, s) in &res.raw {
+            assert!(s >= 1.0);
+        }
+    }
+
+    #[test]
+    fn fault_scenario_is_scheduler_invariant() {
+        let mk = |scheduler| {
+            FaultScenario {
+                horizon: Nanos::from_micros(300),
+                ..FaultScenario::reduced(
+                    vec![distributions::FB_HADOOP.to_string()],
+                    CcSpec::new(ProtocolKind::Swift, Variant::VaiSf),
+                    7,
+                )
+            }
+            .with_loss(5e-3)
+            .with_bursty()
+            .with_flap(Nanos::from_micros(250), Nanos::from_micros(50))
+            .with_scheduler(scheduler)
+            .run()
+        };
+        let heap = mk(SchedulerKind::Heap);
+        let wheel = mk(SchedulerKind::Wheel);
+        assert_eq!(heap.raw, wheel.raw);
+        assert_eq!(heap.faults, wheel.faults);
+        assert_eq!(heap.outcome, wheel.outcome);
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod tests {
             queue: vec![],
             fcts: vec![],
             all_finished: true,
+            outcome: netsim::RunOutcome::Completed,
             events_handled: 0,
             occupancy_hwm: 0,
             trace: None,

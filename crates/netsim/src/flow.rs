@@ -49,6 +49,12 @@ pub struct Flow {
     pub last_progress: Nanos,
     /// Sender side: the scheduled RTO check, if armed (dedup guard).
     pub rto_armed: Option<Nanos>,
+    /// Sender side: consecutive-timeout backoff level (0 = base RTO;
+    /// reset whenever the cumulative ACK advances).
+    pub rto_level: u32,
+    /// Sender side: total RTO firings that rewound this flow (the
+    /// retransmit counter exposed through the metrics registry).
+    pub rto_count: u64,
     /// Sender side: acknowledgements processed so far (drives the trace
     /// layer's CC sampling cadence).
     pub acks_seen: u64,
@@ -77,6 +83,8 @@ impl Flow {
             last_nack_for: None,
             last_progress: spec.start,
             rto_armed: None,
+            rto_level: 0,
+            rto_count: 0,
             acks_seen: 0,
         }
     }

@@ -38,6 +38,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod flow;
 pub mod ids;
 pub mod monitor;
@@ -46,14 +47,19 @@ pub mod packet;
 pub mod pfc;
 pub mod port;
 pub mod routing;
+pub mod run;
 pub mod stats;
 pub mod topology;
 
+pub use fault::{
+    FaultPlan, FaultStats, FlapSchedule, LinkFault, LossModel, RtoBackoff, FAULT_STREAM,
+};
 pub use flow::{Flow, FlowSpec};
 pub use ids::{FlowId, NodeId, PortNo};
 pub use monitor::{FctRecord, Monitor, MonitorConfig, Sample};
 pub use network::{Event, NetBuilder, NetConfig, Network};
 pub use packet::{Packet, PacketKind};
 pub use port::RedConfig;
+pub use run::{run_watched, RunOutcome};
 pub use stats::{bottleneck, port_stats, PortStats};
 pub use topology::{FatTreeConfig, Topology};

@@ -5,13 +5,14 @@ use dcsim::{Bytes, DetRng, Nanos, Scheduler, World};
 use faircc::{AckFeedback, CongestionControl, IntHop};
 use simtrace::{Subsystem, TraceEvent, Tracer};
 
+use crate::fault::{FaultPlan, FaultStats, LossState, RtoBackoff, FAULT_STREAM};
 use crate::flow::{Flow, FlowSpec};
 use crate::ids::{FlowId, NodeId, PortNo};
 use crate::monitor::{FctRecord, Monitor, MonitorConfig};
 use crate::packet::{Packet, PacketKind, PacketPool};
 use crate::pfc::PfcConfig;
 use crate::port::{Port, RedConfig};
-use crate::routing::{Adjacency, RoutingTable};
+use crate::routing::{filter_adjacency, Adjacency, RoutingTable};
 
 /// What a node is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,10 +50,25 @@ pub struct NetConfig {
     /// go-back-N (receiver NACKs, sender rewinds) plus a retransmission
     /// timeout for trailing losses.
     pub switch_buffer: Option<dcsim::Bytes>,
-    /// Retransmission timeout: if no cumulative-ACK progress for this
-    /// long while data is outstanding, the sender rewinds to the last
-    /// acknowledged byte. Only reachable in lossy (finite-buffer) mode.
+    /// *Base* retransmission timeout: if no cumulative-ACK progress for
+    /// this long while data is outstanding, the sender rewinds to the
+    /// last acknowledged byte. Armed in lossy (finite-buffer) mode and
+    /// whenever a fault plan is active.
+    ///
+    /// Deprecated semantics note: this used to be the *fixed* timeout;
+    /// it is now the base of the exponential backoff in
+    /// [`NetConfig::rto_backoff`]. Existing scenarios build unchanged —
+    /// set `rto_backoff: RtoBackoff::fixed()` to restore the old
+    /// constant-timeout behaviour exactly.
     pub rto: Nanos,
+    /// Exponential RTO backoff policy applied on top of [`rto`]
+    /// (multiplier, cap, deterministic jitter).
+    ///
+    /// [`rto`]: NetConfig::rto
+    pub rto_backoff: RtoBackoff,
+    /// Deterministic fault-injection plan. The default (empty) plan is
+    /// zero-cost: no RNG draws, no extra events, no per-packet work.
+    pub faults: FaultPlan,
 }
 
 impl Default for NetConfig {
@@ -65,6 +81,8 @@ impl Default for NetConfig {
             pfc: None,
             switch_buffer: None,
             rto: Nanos::from_micros(100),
+            rto_backoff: RtoBackoff::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -102,6 +120,15 @@ pub enum Event {
     },
     /// Retransmission-timeout check for a flow (lossy mode only).
     Rto(FlowId),
+    /// Fault injection: one link direction changes up/down state.
+    LinkSet {
+        /// Node owning the affected egress port.
+        node: NodeId,
+        /// The affected port.
+        port: PortNo,
+        /// New link state.
+        up: bool,
+    },
     /// Periodic measurement tick.
     Sample,
 }
@@ -198,6 +225,26 @@ impl NetBuilder {
         let routes = RoutingTable::compute(&adj, &hosts);
         let rng = DetRng::new(cfg.seed);
         let red_rng = rng.stream(2);
+        let fault_rng = rng.stream(FAULT_STREAM);
+        let faults_active = !cfg.faults.is_empty();
+        // Attach loss models to both directions of each faulted link, and
+        // validate that every fault references a real link.
+        for lf in &cfg.faults.links {
+            for (x, y) in [(lf.a, lf.b), (lf.b, lf.a)] {
+                let Some(i) = self.ports[x.idx()].iter().position(|p| p.peer.0 == y) else {
+                    panic!(
+                        "fault plan references nonexistent link {:?}-{:?}",
+                        lf.a, lf.b
+                    );
+                };
+                if let Some(model) = lf.loss {
+                    self.ports[x.idx()][i].loss = Some(LossState::new(model));
+                }
+            }
+        }
+        // Keep a pristine copy of the routes while faults may rewrite
+        // the live table: ideal FCTs must not move when links flap.
+        let routes_full = faults_active.then(|| routes.clone());
         let nodes = self
             .kinds
             .into_iter()
@@ -209,9 +256,14 @@ impl NetBuilder {
             nodes,
             flows: Vec::new(),
             routes,
+            routes_full,
+            adjacency: adj,
             monitor: Monitor::new(monitor),
             pool: PacketPool::new(),
             red_rng,
+            fault_rng,
+            faults_active,
+            fault_stats: FaultStats::default(),
             hosts,
             dropped_data: 0,
             tracer: Tracer::off(),
@@ -226,10 +278,20 @@ pub struct Network {
     nodes: Vec<Node>,
     flows: Vec<Flow>,
     routes: RoutingTable,
+    /// Pristine routes over the no-faults topology (`None` when no fault
+    /// plan is active): the `ideal_fct` denominator view, while `routes`
+    /// tracks live link state.
+    routes_full: Option<RoutingTable>,
+    adjacency: Adjacency,
     /// Measurement collector.
     pub monitor: Monitor,
     pool: PacketPool,
     red_rng: DetRng,
+    /// Dedicated fault-injection RNG stream — loss draws and RTO jitter
+    /// never touch the traffic RNG streams.
+    fault_rng: DetRng,
+    faults_active: bool,
+    fault_stats: FaultStats,
     hosts: Vec<NodeId>,
     dropped_data: u64,
     tracer: Tracer,
@@ -261,6 +323,19 @@ impl Network {
     pub fn prime(&self, q: &mut impl Scheduler<Event>) {
         for f in &self.flows {
             q.push(f.spec.start, Event::FlowStart(f.id));
+        }
+        // Fault plan: schedule every link-state transition, for both
+        // directions of the link (a flap cuts the full-duplex link whole).
+        for lf in &self.cfg.faults.links {
+            if let Some(flap) = lf.flap {
+                for (t, up) in flap.transitions() {
+                    for (x, y) in [(lf.a, lf.b), (lf.b, lf.a)] {
+                        if let Some((node, port)) = self.port_towards(x, y) {
+                            q.push(t, Event::LinkSet { node, port, up });
+                        }
+                    }
+                }
+            }
         }
         if let Some(iv) = self.monitor.cfg.sample_interval {
             q.push(iv, Event::Sample);
@@ -309,8 +384,37 @@ impl Network {
     }
 
     /// Total data packets tail-dropped network-wide (0 in lossless mode).
+    /// Fault-injection drops are counted separately in [`fault_stats`].
+    ///
+    /// [`fault_stats`]: Network::fault_stats
     pub fn dropped_data_packets(&self) -> u64 {
         self.dropped_data
+    }
+
+    /// Fault-injection counters (wire losses, link-down drops, reroutes,
+    /// RTO rewinds). All zero when no fault plan is active.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Progress signature for the stall watchdog: `(total acked bytes,
+    /// finished flows, flows started by now)`. A signature unchanged over
+    /// a full watchdog horizon while started flows remain unfinished
+    /// means the run is stalled.
+    pub fn progress_signature(&self, now: Nanos) -> (u64, u64, u64) {
+        let acked: u64 = self.flows.iter().map(|f| f.acked).sum();
+        let started = self.flows.iter().filter(|f| f.spec.start <= now).count() as u64;
+        (acked, self.monitor.fcts.len() as u64, started)
+    }
+
+    /// Flows started by `now` that have not finished — the suspects a
+    /// stall watchdog reports.
+    pub fn unfinished_started(&self, now: Nanos) -> Vec<FlowId> {
+        self.flows
+            .iter()
+            .filter(|f| f.spec.start <= now && f.finished.is_none())
+            .map(|f| f.id)
+            .collect()
     }
 
     /// Install a tracer (replacing the default disabled one). Call before
@@ -342,6 +446,20 @@ impl Network {
         reg.counter_set("net.dropped_data_packets", self.dropped_data);
         reg.counter_set("net.flows", self.flows.len() as u64);
         reg.counter_set("net.flows_finished", self.monitor.fcts.len() as u64);
+        if self.faults_active {
+            reg.counter_set("net.fault.wire_drops", self.fault_stats.wire_drops);
+            reg.counter_set(
+                "net.fault.link_down_drops",
+                self.fault_stats.link_down_drops,
+            );
+            reg.counter_set("net.fault.reroutes", self.fault_stats.reroutes);
+            reg.counter_set("net.fault.rto_fires", self.fault_stats.rto_fires);
+            for f in &self.flows {
+                if f.rto_count > 0 {
+                    reg.counter_set(&format!("flow.{}.rto_count", f.id.0), f.rto_count);
+                }
+            }
+        }
         for (ni, n) in self.nodes.iter().enumerate() {
             for (pi, p) in n.ports.iter().enumerate() {
                 p.publish_metrics(ni as u32, pi as u16, reg);
@@ -369,11 +487,13 @@ impl Network {
     pub fn ideal_fct(&self, id: FlowId) -> Nanos {
         let f = &self.flows[id.idx()];
         let (src, dst) = (f.spec.src, f.spec.dst);
-        // Walk the pinned path.
+        // Walk the pinned path — over the pristine (no-faults) routes:
+        // the slowdown denominator must not move when links flap.
+        let routes = self.routes_full.as_ref().unwrap_or(&self.routes);
         let mut path: Vec<(dcsim::BitRate, Nanos)> = Vec::new();
         let mut cur = src;
         while cur != dst {
-            let port = self.routes.pick(cur, dst, id);
+            let port = routes.pick(cur, dst, id);
             let p = &self.nodes[cur.idx()].ports[port.idx()];
             path.push((p.rate, p.prop));
             cur = p.peer.0;
@@ -444,24 +564,30 @@ impl Network {
             self.enqueue_at(src, PortNo(0), pkt, now, q);
         }
         self.arm_cc_timer(fi, now, q);
-        if self.cfg.switch_buffer.is_some() {
+        if self.cfg.switch_buffer.is_some() || self.faults_active {
             self.arm_rto(fi, now, q);
         }
     }
 
     fn arm_rto(&mut self, fi: usize, now: Nanos, q: &mut impl Scheduler<Event>) {
-        let rto = self.cfg.rto;
-        let f = &mut self.flows[fi];
-        if f.finished.is_some() || f.inflight() == 0 || f.rto_armed.is_some() {
-            return;
+        {
+            let f = &self.flows[fi];
+            if f.finished.is_some() || f.inflight() == 0 || f.rto_armed.is_some() {
+                return;
+            }
         }
-        let t = now + rto;
+        let level = self.flows[fi].rto_level;
+        let timeout = self.cfg.rto_backoff.timeout(self.cfg.rto, level);
+        let jitter = self.cfg.rto_backoff.jitter(timeout, &mut self.fault_rng);
+        let t = now + timeout + jitter;
+        let f = &mut self.flows[fi];
         f.rto_armed = Some(t);
         q.push(t, Event::Rto(f.id));
     }
 
     fn on_rto(&mut self, fi: usize, now: Nanos, q: &mut impl Scheduler<Event>) {
-        let rto = self.cfg.rto;
+        let backoff = self.cfg.rto_backoff;
+        let base = self.cfg.rto;
         let rewind = {
             let f = &mut self.flows[fi];
             if f.rto_armed != Some(now) {
@@ -471,16 +597,33 @@ impl Network {
             if f.finished.is_some() || f.inflight() == 0 {
                 return;
             }
-            if now.saturating_sub(f.last_progress) >= rto {
-                // Stalled: everything past `acked` may be lost. Rewind.
+            if now.saturating_sub(f.last_progress) >= backoff.timeout(base, f.rto_level) {
+                // Stalled: everything past `acked` may be lost. Rewind,
+                // count, tell the CC, and back off the next timeout.
                 f.sent = f.acked;
                 f.last_progress = now;
+                f.rto_count += 1;
+                f.rto_level = f.rto_level.saturating_add(1);
+                f.cc.on_rto(now);
                 true
             } else {
                 false
             }
         };
-        let _ = rewind;
+        if rewind {
+            self.fault_stats.rto_fires += 1;
+            if self.tracer.wants(Subsystem::Fault) {
+                let f = &self.flows[fi];
+                self.tracer.record(
+                    now,
+                    TraceEvent::RtoBackoff {
+                        flow: f.id.0,
+                        level: f.rto_level,
+                        timeout_ns: backoff.timeout(base, f.rto_level).as_u64(),
+                    },
+                );
+            }
+        }
         self.try_send(fi, now, q);
         self.arm_rto(fi, now, q);
     }
@@ -503,9 +646,14 @@ impl Network {
         let start = match p.enqueue(pkt, &mut self.red_rng) {
             Ok(start) => start,
             Err(dropped) => {
-                // Tail drop: the flow recovers via go-back-N (receiver
-                // NACK on the sequence gap, or the RTO for tail losses).
-                self.dropped_data += 1;
+                // Tail drop (or a dead link): the flow recovers via
+                // go-back-N (receiver NACK on the sequence gap, or the
+                // RTO for tail losses).
+                if p.link_up {
+                    self.dropped_data += 1;
+                } else {
+                    self.fault_stats.link_down_drops += 1;
+                }
                 self.tracer.record(
                     now,
                     TraceEvent::PortDrop {
@@ -563,7 +711,7 @@ impl Network {
     fn start_tx(&mut self, node: NodeId, port: PortNo, now: Nanos, q: &mut impl Scheduler<Event>) {
         let pfc = self.cfg.pfc;
         let mut release = false;
-        let (pkt, ser, peer, prop) = {
+        let (pkt, ser, peer, prop, lost, bursty) = {
             let n = &mut self.nodes[node.idx()];
             let is_switch = n.kind == NodeKind::Switch;
             let p = &mut n.ports[port.idx()];
@@ -600,13 +748,102 @@ impl Network {
                     qbytes: p.qbytes(),
                 },
             );
-            (pkt, ser, p.peer, p.prop)
+            // Fault injection: the wire may eat this frame; surviving
+            // frames are stamped with their link so a mid-flight
+            // link-down can kill them on arrival. All gated so runs
+            // without a fault plan do zero extra work and zero draws.
+            let mut lost = false;
+            let mut bursty = false;
+            if self.faults_active {
+                if let Some(loss) = p.loss.as_mut() {
+                    if loss.lose(&mut self.fault_rng) {
+                        lost = true;
+                        bursty = loss.in_bad();
+                        p.count_wire_loss();
+                    }
+                }
+                if !lost {
+                    pkt.via = Some((node, port));
+                }
+            }
+            (pkt, ser, p.peer, p.prop, lost, bursty)
         };
         if release {
             self.broadcast_pause(node, port, false, now, q);
         }
         q.push(now + ser, Event::TxDone { node, port });
-        q.push(now + ser + prop, Event::Arrive { node: peer.0, pkt });
+        if lost {
+            // The frame occupied the wire for its serialization time (the
+            // port stays busy until TxDone) but never arrives.
+            self.fault_stats.wire_drops += 1;
+            if self.tracer.wants(Subsystem::Fault) {
+                self.tracer.record(
+                    now,
+                    TraceEvent::LossBurst {
+                        node: node.0,
+                        port: port.0,
+                        flow: pkt.flow.0,
+                        bytes: pkt.wire_size,
+                        bursty,
+                    },
+                );
+            }
+            self.pool.put(pkt);
+        } else {
+            q.push(now + ser + prop, Event::Arrive { node: peer.0, pkt });
+        }
+    }
+
+    /// Apply one direction of a link flap: cut or restore the port,
+    /// flush queued frames on a cut, and recompute ECMP routes over the
+    /// surviving topology (failover rerouting).
+    fn on_link_set(&mut self, node: NodeId, port: PortNo, up: bool, now: Nanos) {
+        let trace = self.tracer.wants(Subsystem::Fault);
+        if up {
+            self.nodes[node.idx()].ports[port.idx()].bring_up();
+            if trace {
+                self.tracer.record(
+                    now,
+                    TraceEvent::LinkUp {
+                        node: node.0,
+                        port: port.0,
+                    },
+                );
+            }
+        } else {
+            let flushed = self.nodes[node.idx()].ports[port.idx()].take_down(now);
+            let n_flushed = flushed.len() as u32;
+            for pkt in flushed {
+                self.pool.put(pkt);
+            }
+            self.fault_stats.link_down_drops += n_flushed as u64;
+            if trace {
+                self.tracer.record(
+                    now,
+                    TraceEvent::LinkDown {
+                        node: node.0,
+                        port: port.0,
+                        flushed: n_flushed,
+                    },
+                );
+            }
+        }
+        // Failover: recompute the ECMP routes over the links still up.
+        let filtered = filter_adjacency(&self.adjacency, |n, p| {
+            self.nodes[n.idx()].ports[p.idx()].link_up
+        });
+        self.routes = RoutingTable::compute(&filtered, &self.hosts);
+        self.fault_stats.reroutes += 1;
+        if trace {
+            self.tracer.record(
+                now,
+                TraceEvent::Reroute {
+                    node: node.0,
+                    port: port.0,
+                    up,
+                },
+            );
+        }
     }
 
     /// Send PAUSE/RESUME to every neighbour except the peer of the
@@ -684,10 +921,11 @@ impl Network {
                 // go-back-N applies: out-of-order packets are discarded
                 // and the receiver NACKs the expected sequence once per
                 // gap.
-                let lossless = self.cfg.switch_buffer.is_none();
+                let lossless = self.cfg.switch_buffer.is_none() && !self.faults_active;
                 enum Rx {
                     Accept { need_cnp: bool },
                     Nack { expected: u64 },
+                    AckDup,
                     DiscardDup,
                 }
                 let action = {
@@ -708,6 +946,14 @@ impl Network {
                         } else {
                             Rx::DiscardDup
                         }
+                    } else if self.faults_active {
+                        // Duplicate from a go-back-N rewind. Under wire
+                        // loss the original ACK may itself have died, so
+                        // re-ACK the cumulative offset — the only way a
+                        // sender whose final ACK was eaten learns it is
+                        // done. Unreachable without faults, so lossless
+                        // and tail-drop runs are untouched.
+                        Rx::AckDup
                     } else {
                         // Duplicate from a go-back-N rewind: discard; the
                         // cumulative ACK below keeps the sender moving.
@@ -740,6 +986,11 @@ impl Network {
                         pkt.wire_size = self.cfg.ack_wire_size;
                         self.enqueue_at(node, PortNo(0), pkt, now, q);
                     }
+                    Rx::AckDup => {
+                        pkt.into_ack(self.cfg.ack_wire_size);
+                        pkt.seq = self.flows[fi].rcv_next; // cumulative
+                        self.enqueue_at(node, PortNo(0), pkt, now, q);
+                    }
                     Rx::DiscardDup => {
                         self.pool.put(pkt);
                     }
@@ -751,6 +1002,10 @@ impl Network {
                     let f = &mut self.flows[fi];
                     let newly = pkt.seq.saturating_sub(f.acked);
                     f.acked = f.acked.max(pkt.seq);
+                    // An RTO rewind can pull `sent` below a cumulative ACK
+                    // that was still in flight; those bytes are delivered,
+                    // so the send cursor never needs to revisit them.
+                    f.sent = f.sent.max(f.acked);
                     let fb = AckFeedback {
                         now,
                         rtt: now.saturating_sub(pkt.sent_at),
@@ -808,7 +1063,9 @@ impl Network {
                     );
                     self.monitor.record_fct(rec);
                 } else {
-                    self.flows[fi].last_progress = now;
+                    let f = &mut self.flows[fi];
+                    f.last_progress = now;
+                    f.rto_level = 0; // backoff resets on ACK progress
                     self.try_send(fi, now, q);
                 }
             }
@@ -861,15 +1118,47 @@ impl World for Network {
                     self.start_tx(node, port, now, q);
                 }
             }
-            Event::Arrive { node, pkt } => match self.nodes[node.idx()].kind {
-                NodeKind::Switch => {
-                    let out = self.routes.pick(node, pkt.dst, pkt.flow);
-                    self.enqueue_at(node, out, pkt, now, q);
+            Event::Arrive { node, pkt } => {
+                if self.faults_active {
+                    if let Some((vn, vp)) = pkt.via {
+                        let p = &self.nodes[vn.idx()].ports[vp.idx()];
+                        // A frame propagating on a link that was cut after
+                        // it left (or is still down) never arrives.
+                        if !p.link_up || p.last_down > now.saturating_sub(p.prop) {
+                            self.fault_stats.link_down_drops += 1;
+                            if self.tracer.wants(Subsystem::Fault) {
+                                self.tracer.record(
+                                    now,
+                                    TraceEvent::PortDrop {
+                                        node: vn.0,
+                                        port: vp.0,
+                                        flow: pkt.flow.0,
+                                        bytes: pkt.wire_size,
+                                    },
+                                );
+                            }
+                            self.pool.put(pkt);
+                            return;
+                        }
+                    }
                 }
-                NodeKind::Host => self.deliver_to_host(node, pkt, now, q),
-            },
+                match self.nodes[node.idx()].kind {
+                    NodeKind::Switch => match self.routes.try_pick(node, pkt.dst, pkt.flow) {
+                        Some(out) => self.enqueue_at(node, out, pkt, now, q),
+                        None => {
+                            // Partitioned by a link-down: no route left.
+                            // Drop; the sender's RTO (and a later link-up
+                            // reroute) recovers.
+                            self.fault_stats.link_down_drops += 1;
+                            self.pool.put(pkt);
+                        }
+                    },
+                    NodeKind::Host => self.deliver_to_host(node, pkt, now, q),
+                }
+            }
             Event::CcTimer(f) => self.on_cc_timer(f.idx(), now, q),
             Event::Rto(f) => self.on_rto(f.idx(), now, q),
+            Event::LinkSet { node, port, up } => self.on_link_set(node, port, up, now),
             Event::PfcSet { node, port, paused } => {
                 self.tracer.record(
                     now,
@@ -1401,6 +1690,159 @@ mod tests {
         let net = sim.world();
         assert!(net.dropped_data_packets() > 0);
         assert!(net.all_finished(), "RTO failed to recover trailing losses");
+    }
+
+    #[test]
+    fn faults_off_leaves_counters_untouched() {
+        let (mut net, h0, h1) = two_host_net(MonitorConfig::default(), NetConfig::default());
+        net.add_flow(
+            FlowSpec {
+                src: h0,
+                dst: h1,
+                size: Bytes(100_000),
+                start: Nanos::ZERO,
+            },
+            Box::new(FixedRate(BitRate::from_gbps(100))),
+        );
+        let mut sim = Simulation::new(net);
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
+        sim.run();
+        assert!(sim.world().all_finished());
+        assert_eq!(
+            sim.world().fault_stats(),
+            crate::fault::FaultStats::default()
+        );
+        assert_eq!(sim.world().flow(FlowId(0)).rto_count, 0);
+    }
+
+    #[test]
+    fn wire_loss_recovers_and_counts() {
+        use crate::fault::{FaultPlan, LinkFault, LossModel};
+        let mut b = NetBuilder::new();
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let sw = b.add_switch();
+        b.link(h0, sw, BitRate::from_gbps(100), Nanos::MICRO);
+        b.link(h1, sw, BitRate::from_gbps(100), Nanos::MICRO);
+        let mut net = b.build(
+            NetConfig {
+                rto: Nanos::from_micros(50),
+                faults: FaultPlan::none()
+                    .link(LinkFault::on(h0, sw).with_loss(LossModel::uniform(0.05))),
+                ..NetConfig::default()
+            },
+            MonitorConfig::default(),
+        );
+        net.add_flow(
+            FlowSpec {
+                src: h0,
+                dst: h1,
+                size: Bytes(200_000),
+                start: Nanos::ZERO,
+            },
+            Box::new(FixedRate(BitRate::from_gbps(100))),
+        );
+        let mut sim = Simulation::new(net);
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
+        sim.run_until(Nanos::from_millis(100));
+        let net = sim.world();
+        let stats = net.fault_stats();
+        assert!(stats.wire_drops > 0, "5% loss over 200 packets must bite");
+        assert!(
+            net.all_finished(),
+            "go-back-N + RTO backoff failed to recover from wire loss: {stats:?}"
+        );
+        let fl = net.flow(FlowId(0));
+        assert_eq!(fl.rcv_next, fl.spec.size.0);
+        assert_eq!(fl.acked, fl.spec.size.0);
+        // No buffer limit configured: every drop is a fault, not a tail drop.
+        assert_eq!(net.dropped_data_packets(), 0);
+    }
+
+    #[test]
+    fn link_cut_fails_over_to_detour() {
+        use crate::fault::{FaultPlan, FlapSchedule, LinkFault};
+        // h0 - s0 = s1 - h1, with a longer detour s0 - s2 - s1. All
+        // traffic pins the direct s0-s1 link until it is cut mid-flow.
+        let mut b = NetBuilder::new();
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let s0 = b.add_switch();
+        let s1 = b.add_switch();
+        let s2 = b.add_switch();
+        b.link(h0, s0, BitRate::from_gbps(100), Nanos::MICRO);
+        b.link(h1, s1, BitRate::from_gbps(100), Nanos::MICRO);
+        b.link(s0, s1, BitRate::from_gbps(100), Nanos::MICRO);
+        b.link(s0, s2, BitRate::from_gbps(100), Nanos::MICRO);
+        b.link(s2, s1, BitRate::from_gbps(100), Nanos::MICRO);
+        let mut net = b.build(
+            NetConfig {
+                rto: Nanos::from_micros(50),
+                faults: FaultPlan::none().link(
+                    LinkFault::on(s0, s1)
+                        .with_flap(FlapSchedule::permanent(Nanos::from_micros(20))),
+                ),
+                ..NetConfig::default()
+            },
+            MonitorConfig::default(),
+        );
+        let id = net.add_flow(
+            FlowSpec {
+                src: h0,
+                dst: h1,
+                size: Bytes(500_000), // ~40us at line rate: the cut lands mid-flow
+                start: Nanos::ZERO,
+            },
+            Box::new(FixedRate(BitRate::from_gbps(100))),
+        );
+        let ideal = net.ideal_fct(id);
+        let mut sim = Simulation::new(net);
+        {
+            let (w, q) = sim.split_mut();
+            w.prime(q);
+        }
+        sim.run_until(Nanos::from_millis(50));
+        let net = sim.world();
+        let stats = net.fault_stats();
+        assert!(
+            net.all_finished(),
+            "failover rerouting did not recover the flow: {stats:?}"
+        );
+        // Both directions of the cut link trigger a route recomputation.
+        assert!(stats.reroutes >= 2, "{stats:?}");
+        // Frames queued or in flight on the cut link died.
+        assert!(stats.link_down_drops > 0, "{stats:?}");
+        // The ideal-FCT denominator still reflects the pristine topology.
+        assert_eq!(net.ideal_fct(id), ideal);
+        let fct = net.monitor.fcts()[0].fct();
+        assert!(fct > ideal, "a mid-flow cut must cost time");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent link")]
+    fn fault_plan_validates_links() {
+        use crate::fault::{FaultPlan, LinkFault, LossModel};
+        let mut b = NetBuilder::new();
+        let h0 = b.add_host();
+        let h1 = b.add_host();
+        let sw = b.add_switch();
+        b.link(h0, sw, BitRate::from_gbps(100), Nanos::MICRO);
+        b.link(h1, sw, BitRate::from_gbps(100), Nanos::MICRO);
+        b.build(
+            NetConfig {
+                // h0 and h1 are not directly linked.
+                faults: FaultPlan::none()
+                    .link(LinkFault::on(h0, h1).with_loss(LossModel::uniform(0.1))),
+                ..NetConfig::default()
+            },
+            MonitorConfig::default(),
+        );
     }
 
     #[test]

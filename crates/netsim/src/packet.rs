@@ -8,7 +8,7 @@
 use dcsim::Nanos;
 use faircc::IntStack;
 
-use crate::ids::{FlowId, NodeId};
+use crate::ids::{FlowId, NodeId, PortNo};
 
 /// What kind of frame this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +51,12 @@ pub struct Packet {
     pub ecn: bool,
     /// Number of switch egress ports traversed so far (Swift's hop count).
     pub hops: u8,
+    /// Fault injection: the `(node, port)` whose wire this frame is
+    /// currently propagating on, stamped at transmit start so a
+    /// mid-flight link-down can kill it on arrival. `None` outside
+    /// fault-injection runs (stamping is gated to keep the hot path
+    /// untouched when faults are off).
+    pub via: Option<(NodeId, PortNo)>,
     /// INT telemetry accumulated on the forward path.
     pub int: IntStack,
 }
@@ -69,6 +75,7 @@ impl Packet {
             sent_at: Nanos::ZERO,
             ecn: false,
             hops: 0,
+            via: None,
             int: IntStack::new(),
         }
     }
@@ -243,6 +250,7 @@ mod tests {
         p.sent_at = Nanos(55);
         p.ecn = true;
         p.hops = 9;
+        p.via = Some((NodeId(3), PortNo(1)));
         p.int.push(IntHop::default());
         pool.put(p);
         let q = pool.get();
@@ -256,6 +264,7 @@ mod tests {
         assert_eq!(q.sent_at, Nanos::ZERO);
         assert!(!q.ecn);
         assert_eq!(q.hops, 0);
+        assert_eq!(q.via, None);
         assert!(q.int.is_empty());
     }
 

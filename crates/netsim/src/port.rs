@@ -8,6 +8,7 @@ use std::collections::VecDeque;
 
 use dcsim::{BitRate, Bytes, DetRng, Nanos};
 
+use crate::fault::LossState;
 use crate::ids::{NodeId, PortNo};
 use crate::packet::Packet;
 use crate::pfc::PauseCounter;
@@ -78,6 +79,14 @@ pub struct Port {
     /// PFC hysteresis: whether this queue is in the over-XOFF regime
     /// (set crossing above XOFF, cleared crossing below XON).
     pub pfc_over: bool,
+    /// Fault injection: whether the link direction is up. Down ports
+    /// drop every enqueue attempt and hold no backlog.
+    pub link_up: bool,
+    /// Fault injection: when this direction last went down (frames that
+    /// departed before the outage but were still propagating are lost).
+    pub last_down: Nanos,
+    /// Fault injection: wire loss channel for this direction, if any.
+    pub loss: Option<LossState>,
     queue: VecDeque<Box<Packet>>,
     qbytes: u64,
     max_qbytes: u64,
@@ -95,6 +104,8 @@ pub struct Port {
     dropped_bytes: u64,
     /// Packets ECN-marked by RED at this port.
     ecn_marked: u64,
+    /// Frames destroyed on the wire by the loss model (fault injection).
+    wire_lost: u64,
 }
 
 impl Port {
@@ -111,6 +122,9 @@ impl Port {
             busy: false,
             pause: PauseCounter::default(),
             pfc_over: false,
+            link_up: true,
+            last_down: Nanos::ZERO,
+            loss: None,
             queue: VecDeque::new(),
             qbytes: 0,
             max_qbytes: 0,
@@ -122,6 +136,7 @@ impl Port {
             enq_packets: 0,
             dropped_bytes: 0,
             ecn_marked: 0,
+            wire_lost: 0,
         }
     }
 
@@ -196,6 +211,13 @@ impl Port {
     ) -> Result<bool, Box<Packet>> {
         self.enq_bytes += pkt.wire_size as u64;
         self.enq_packets += 1;
+        if !self.link_up {
+            // A downed wire loses everything, control frames included.
+            self.dropped_packets += 1;
+            self.dropped_bytes += pkt.wire_size as u64;
+            self.audit_conservation();
+            return Err(pkt);
+        }
         if pkt.kind == crate::packet::PacketKind::Data {
             if let Some(limit) = self.buffer_limit {
                 if self.qbytes + pkt.wire_size as u64 > limit {
@@ -278,6 +300,43 @@ impl Port {
         !self.queue.is_empty()
     }
 
+    /// Fault injection: take this link direction down at `now`, flushing
+    /// the queue into the drop counters (the byte-conservation ledger
+    /// treats flushed frames exactly like tail drops). Returns the
+    /// flushed boxes for the caller to recycle.
+    pub fn take_down(&mut self, now: Nanos) -> Vec<Box<Packet>> {
+        self.link_up = false;
+        self.last_down = now;
+        let mut flushed = Vec::with_capacity(self.queue.len());
+        while let Some(pkt) = self.queue.pop_front() {
+            self.qbytes -= pkt.wire_size as u64;
+            self.dropped_packets += 1;
+            self.dropped_bytes += pkt.wire_size as u64;
+            flushed.push(pkt);
+        }
+        self.audit_conservation();
+        flushed
+    }
+
+    /// Fault injection: bring this link direction back up.
+    pub fn bring_up(&mut self) {
+        self.link_up = true;
+    }
+
+    /// Fault injection: count one frame that the loss model destroyed
+    /// mid-transmission. `begin_tx` already moved its bytes into the
+    /// transmitted column, which is where a frame that fully serialized
+    /// belongs; this counter just makes wire losses observable.
+    pub fn count_wire_loss(&mut self) {
+        self.wire_lost += 1;
+    }
+
+    /// Frames destroyed on the wire by the loss model.
+    #[inline]
+    pub fn wire_lost(&self) -> u64 {
+        self.wire_lost
+    }
+
     /// Whether PFC currently forbids starting a transmission.
     #[inline]
     pub fn is_paused(&self) -> bool {
@@ -299,6 +358,9 @@ impl Port {
         reg.counter_set(&format!("{prefix}.max_qbytes"), self.max_qbytes);
         reg.counter_set(&format!("{prefix}.dropped_packets"), self.dropped_packets);
         reg.counter_set(&format!("{prefix}.ecn_marked"), self.ecn_marked);
+        if self.wire_lost > 0 {
+            reg.counter_set(&format!("{prefix}.wire_lost"), self.wire_lost);
+        }
     }
 }
 
@@ -461,5 +523,33 @@ mod tests {
     #[should_panic(expected = "positive rate")]
     fn zero_rate_link_rejected() {
         Port::new((NodeId(0), PortNo(0)), BitRate::ZERO, Nanos::ZERO);
+    }
+
+    #[test]
+    fn take_down_flushes_into_drop_counters() {
+        let mut pool = PacketPool::new();
+        let mut rng = DetRng::new(1);
+        let mut p = port(100);
+        p.busy = true;
+        p.enqueue(data_pkt(&mut pool, 1000), &mut rng)
+            .expect("no buffer limit set");
+        p.enqueue(data_pkt(&mut pool, 500), &mut rng)
+            .expect("no buffer limit set");
+        let flushed = p.take_down(Nanos(77));
+        assert_eq!(flushed.len(), 2);
+        assert!(!p.link_up);
+        assert_eq!(p.last_down, Nanos(77));
+        assert_eq!(p.qbytes(), 0);
+        assert_eq!(p.dropped_packets(), 2);
+        assert_eq!(p.dropped_bytes(), 1500);
+        // A down wire refuses everything, control frames included.
+        let mut ack = pool.get();
+        ack.kind = PacketKind::Ack;
+        ack.wire_size = 60;
+        assert!(p.enqueue(ack, &mut rng).is_err());
+        assert_eq!(p.dropped_packets(), 3);
+        p.bring_up();
+        assert!(p.link_up);
+        assert!(p.enqueue(data_pkt(&mut pool, 100), &mut rng).is_ok());
     }
 }

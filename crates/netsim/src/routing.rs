@@ -75,13 +75,45 @@ impl RoutingTable {
     /// Panics if there is no route — a topology bug worth failing loudly on.
     #[inline]
     pub fn pick(&self, node: NodeId, dst: NodeId, flow: FlowId) -> PortNo {
-        let c = self.candidates(node, dst);
-        assert!(
-            !c.is_empty(),
-            "no route from node {node:?} to {dst:?} for flow {flow:?}"
-        );
-        c[ecmp_hash(flow, node) as usize % c.len()]
+        match self.try_pick(node, dst, flow) {
+            Some(p) => p,
+            None => panic!("no route from node {node:?} to {dst:?} for flow {flow:?}"),
+        }
     }
+
+    /// Like [`pick`](Self::pick), but `None` when no route exists —
+    /// the forwarding path under fault injection, where a link-down can
+    /// legitimately partition the fabric (the packet is dropped and
+    /// traced instead of panicking).
+    #[inline]
+    pub fn try_pick(&self, node: NodeId, dst: NodeId, flow: FlowId) -> Option<PortNo> {
+        let c = self.candidates(node, dst);
+        if c.is_empty() {
+            return None;
+        }
+        Some(c[ecmp_hash(flow, node) as usize % c.len()])
+    }
+}
+
+/// `adj` minus every entry whose egress port fails `port_up` — the
+/// failover view of the fabric after link-state changes. Link flaps take
+/// both directions down together, so the symmetric-links assumption of
+/// [`RoutingTable::compute`]'s reverse BFS still holds on the filtered
+/// adjacency.
+pub fn filter_adjacency(
+    adj: &Adjacency,
+    mut port_up: impl FnMut(NodeId, PortNo) -> bool,
+) -> Adjacency {
+    adj.iter()
+        .enumerate()
+        .map(|(u, ports)| {
+            ports
+                .iter()
+                .filter(|&&(p, _)| port_up(NodeId(u as u32), p))
+                .copied()
+                .collect()
+        })
+        .collect()
 }
 
 /// FNV-1a over (flow, node): cheap, deterministic, well-spread for
@@ -154,6 +186,36 @@ mod tests {
         let adj: Adjacency = vec![vec![], vec![]]; // two isolated nodes
         let rt = RoutingTable::compute(&adj, &[NodeId(1)]);
         rt.pick(NodeId(0), NodeId(1), FlowId(0));
+    }
+
+    #[test]
+    fn try_pick_returns_none_when_partitioned() {
+        let adj: Adjacency = vec![vec![], vec![]];
+        let rt = RoutingTable::compute(&adj, &[NodeId(1)]);
+        assert_eq!(rt.try_pick(NodeId(0), NodeId(1), FlowId(0)), None);
+    }
+
+    #[test]
+    fn filtered_adjacency_fails_over_to_surviving_path() {
+        let adj = diamond();
+        // Take the 0–1 link down (both directions, as flaps do).
+        let filtered = filter_adjacency(&adj, |node, port| {
+            let down = (node == NodeId(0) || node == NodeId(1)) && port == PortNo(0);
+            !down
+        });
+        let rt = RoutingTable::compute(&filtered, &[NodeId(3)]);
+        // Every flow now routes via node 2 (port 1 at node 0).
+        for f in 0..50 {
+            assert_eq!(
+                rt.try_pick(NodeId(0), NodeId(3), FlowId(f)),
+                Some(PortNo(1))
+            );
+        }
+        // Node 1 can still reach 3 directly.
+        assert_eq!(
+            rt.try_pick(NodeId(1), NodeId(3), FlowId(0)),
+            Some(PortNo(1))
+        );
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub struct Topology {
     pub hosts: Vec<NodeId>,
     /// All switch node ids, in creation order.
     pub switches: Vec<NodeId>,
+    /// Every link as an endpoint pair, in creation order. Used by the
+    /// fault-injection layer to pick targets (e.g. "all fabric links" =
+    /// pairs where both ends are switches).
+    pub links: Vec<(NodeId, NodeId)>,
     /// Host link rate.
     pub host_rate: BitRate,
     /// Worst-case number of switch hops between two hosts.
@@ -37,8 +41,10 @@ impl Topology {
         let mut b = NetBuilder::new();
         let hosts: Vec<NodeId> = (0..n_hosts).map(|_| b.add_host()).collect();
         let sw = b.add_switch();
+        let mut links = Vec::with_capacity(n_hosts);
         for &h in &hosts {
             b.link(h, sw, host_rate, prop);
+            links.push((h, sw));
         }
         let mtu_ser = host_rate.serialization_delay(Bytes::new(1000));
         // Host -> switch -> host, and the ACK back (ACK serialization is
@@ -49,6 +55,7 @@ impl Topology {
             builder: b,
             hosts,
             switches: vec![sw],
+            links,
             host_rate,
             max_hops: 1,
             base_rtt,
@@ -73,12 +80,15 @@ impl Topology {
         let right: Vec<NodeId> = (0..n_per_side).map(|_| b.add_host()).collect();
         let s0 = b.add_switch();
         let s1 = b.add_switch();
+        let mut links = vec![(s0, s1)];
         b.link(s0, s1, core_rate, prop);
         for &h in &left {
             b.link(h, s0, host_rate, prop);
+            links.push((h, s0));
         }
         for &h in &right {
             b.link(h, s1, host_rate, prop);
+            links.push((h, s1));
         }
         let mtu_ser = host_rate.serialization_delay(Bytes::new(1000));
         let base_rtt = (prop + mtu_ser) * 6;
@@ -88,6 +98,7 @@ impl Topology {
             builder: b,
             hosts,
             switches: vec![s0, s1],
+            links,
             host_rate,
             max_hops: 2,
             base_rtt,
@@ -113,9 +124,11 @@ impl Topology {
         let mut b = NetBuilder::new();
         let leaf_sw: Vec<NodeId> = (0..leaves).map(|_| b.add_switch()).collect();
         let spine_sw: Vec<NodeId> = (0..spines).map(|_| b.add_switch()).collect();
+        let mut links = Vec::with_capacity(leaves * (spines + hosts_per_leaf));
         for &l in &leaf_sw {
             for &s in &spine_sw {
                 b.link(l, s, fabric_rate, prop);
+                links.push((l, s));
             }
         }
         let mut hosts = Vec::with_capacity(leaves * hosts_per_leaf);
@@ -124,6 +137,7 @@ impl Topology {
                 let h = b.add_host();
                 b.link(h, l, host_rate, prop);
                 hosts.push(h);
+                links.push((h, l));
             }
         }
         let mtu = Bytes::new(1000);
@@ -137,6 +151,7 @@ impl Topology {
             builder: b,
             hosts,
             switches,
+            links,
             host_rate,
             max_hops: 3,
             base_rtt: one_way * 2,
@@ -216,6 +231,7 @@ impl FatTreeConfig {
         let mut b = NetBuilder::new();
         let mut hosts = Vec::with_capacity(self.num_hosts());
         let mut switches = Vec::new();
+        let mut links = Vec::new();
 
         // Spines first so ids are stable regardless of pod count.
         let spines: Vec<NodeId> = (0..self.spines).map(|_| b.add_switch()).collect();
@@ -231,17 +247,15 @@ impl FatTreeConfig {
             for &t in &tors {
                 for &a in &aggs {
                     b.link(t, a, self.fabric_rate, self.prop);
+                    links.push((t, a));
                 }
             }
             // Agg j connects to spine group j.
             for (j, &a) in aggs.iter().enumerate() {
                 for s in 0..spines_per_agg {
-                    b.link(
-                        a,
-                        spines[j * spines_per_agg + s],
-                        self.fabric_rate,
-                        self.prop,
-                    );
+                    let sp = spines[j * spines_per_agg + s];
+                    b.link(a, sp, self.fabric_rate, self.prop);
+                    links.push((a, sp));
                 }
             }
             // Hosts under each ToR.
@@ -250,6 +264,7 @@ impl FatTreeConfig {
                     let h = b.add_host();
                     b.link(h, t, self.host_rate, self.prop);
                     hosts.push(h);
+                    links.push((h, t));
                 }
             }
         }
@@ -265,6 +280,7 @@ impl FatTreeConfig {
             builder: b,
             hosts,
             switches,
+            links,
             host_rate: self.host_rate,
             max_hops: 5,
             base_rtt: one_way * 2,
@@ -489,6 +505,22 @@ mod tests {
             used.len() >= 2,
             "ECMP pinned every flow to one uplink: {used:?}"
         );
+    }
+
+    #[test]
+    fn fat_tree_link_list_is_complete() {
+        let t = FatTreeConfig::reduced().build();
+        // Per pod: 2 ToR x 2 Agg = 4 ToR-Agg links, 2 Agg x 2 spines = 4
+        // Agg-Spine links, 16 host links; x 2 pods.
+        assert_eq!(t.links.len(), 2 * (4 + 4 + 16));
+        let fabric = t
+            .links
+            .iter()
+            .filter(|(a, b)| t.switches.contains(a) && t.switches.contains(b))
+            .count();
+        assert_eq!(fabric, 16);
+        // Host links are exactly the remainder, one per host.
+        assert_eq!(t.links.len() - fabric, t.hosts.len());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | D3 | ambient randomness (`thread_rng`, `rand::`, `getrandom`, `RandomState`) | everywhere |
 //! | D4 | lossy float→integer casts on time/byte quantities | sim crates, except `units.rs` |
 //! | D5 | `.unwrap()` / `.expect("")` without an invariant message | sim crates |
+//! | D6 | fault-injection randomness outside the dedicated `FAULT_STREAM` | sim crates |
 //!
 //! *Sim crates* are `dcsim`, `netsim`, `core` (faircc), `cc-*`, `fairsim`,
 //! and the workspace root's `src/`, `tests/`, and `examples/`. The support
@@ -100,6 +101,8 @@ pub enum Rule {
     D4,
     /// `.unwrap()` / empty-message `.expect()` in sim crates.
     D5,
+    /// Fault-injection randomness not drawn from the dedicated stream.
+    D6,
     /// Arithmetic mixing unit newtypes with raw integers or each other.
     U1,
     /// `.0` escapes of unit newtypes outside the unit-definition files.
@@ -116,12 +119,13 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 12] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
         Rule::D4,
         Rule::D5,
+        Rule::D6,
         Rule::U1,
         Rule::U2,
         Rule::U3,
@@ -138,6 +142,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::D6 => "D6",
             Rule::U1 => "U1",
             Rule::U2 => "U2",
             Rule::U3 => "U3",
@@ -174,6 +179,12 @@ impl Rule {
             Rule::D5 => {
                 ".unwrap()/.expect(\"\") hides the violated invariant; use a typed error \
                  or .expect(\"why this cannot fail\")"
+            }
+            Rule::D6 => {
+                "fault-injection code must draw all randomness from the dedicated \
+                 FAULT_STREAM (netsim::fault::FAULT_STREAM); seeding a private DetRng \
+                 or borrowing streams 0-3 couples fault draws to the workload/ECMP/RED \
+                 sequences and breaks the zero-cost-when-off contract"
             }
             Rule::U1 => {
                 "arithmetic mixing Nanos/Bytes/BitRate with raw integers (or with each \
@@ -623,6 +634,46 @@ fn has_float_literal(code: &str) -> bool {
     false
 }
 
+/// D6 evidence: does the line reference a fault-injection identifier?
+/// Matched at the identifier level so `Default::default()` (which merely
+/// contains the letters "fault") never counts.
+fn has_fault_ident(code: &str) -> bool {
+    let mut chars = code.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        if !(c.is_alphabetic() || c == '_') {
+            continue;
+        }
+        let mut end = start + c.len_utf8();
+        while let Some(&(j, n)) = chars.peek() {
+            if n.is_alphanumeric() || n == '_' {
+                end = j + n.len_utf8();
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        let ident = code[start..end].to_ascii_lowercase();
+        if ident.contains("fault") && !ident.contains("default") {
+            return true;
+        }
+    }
+    false
+}
+
+/// D6 evidence: a `.stream(<numeric literal>)` call — borrowing a stream
+/// by raw number instead of through the named `FAULT_STREAM` constant.
+fn has_numeric_stream_call(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = code[from..].find(".stream(").map(|p| p + from) {
+        let arg = code[at + ".stream(".len()..].trim_start();
+        if arg.starts_with(|c: char| c.is_ascii_digit()) {
+            return true;
+        }
+        from = at + ".stream(".len();
+    }
+    false
+}
+
 /// Parse `simlint: allow(D1, D4)` style suppressions out of comment text.
 fn parse_suppressions(comment: &str) -> Vec<Rule> {
     let mut out = Vec::new();
@@ -760,6 +811,27 @@ fn v1_scan_lines(display_path: &str, lines: &[StrippedLine]) -> Vec<Finding> {
                 Rule::D4,
                 "lossy float→integer cast on a unit quantity; use the allowlisted \
                  units.rs helpers (BitRate::from_bps_f64 / Nanos::from_ns_f64)"
+                    .into(),
+                sup,
+            );
+        }
+
+        // D6: fault-injection randomness outside the dedicated stream. A
+        // line is in fault context when the file or the line names a
+        // fault identifier; within that context, seeding a private
+        // DetRng or grabbing a stream by raw number (instead of the
+        // named FAULT_STREAM constant) is flagged.
+        if scope == Scope::Sim
+            && (file_name.contains("fault") || has_fault_ident(code))
+            && !code.contains("FAULT_STREAM")
+            && (code.contains("DetRng::new") || has_numeric_stream_call(code))
+        {
+            push(
+                k,
+                Rule::D6,
+                "fault-injection randomness must come from the dedicated stream: \
+                 derive the RNG with .stream(FAULT_STREAM), never DetRng::new or a \
+                 raw stream number (streams 0-3 belong to workload/ECMP/RED/feedback)"
                     .into(),
                 sup,
             );
@@ -1134,6 +1206,34 @@ mod tests {
     fn d3_detrng_is_fine() {
         let src = "let mut rng = DetRng::new(7); let v = rng.below(10);\n";
         assert!(rules_in("crates/dcsim/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d6_flags_private_fault_rngs_and_raw_streams() {
+        // Fault context from the line's identifiers…
+        let src = "let fault_rng = DetRng::new(seed);\n";
+        assert_eq!(
+            rules_in("crates/netsim/src/network.rs", src),
+            vec![Rule::D6]
+        );
+        // …or from the file name, even when the line says nothing faulty.
+        let src = "let rng = DetRng::new(7);\n";
+        assert_eq!(rules_in("crates/netsim/src/fault.rs", src), vec![Rule::D6]);
+        // Borrowing a stream by raw number in fault context.
+        let src = "let fault_rng = root.stream(2);\n";
+        assert_eq!(
+            rules_in("crates/netsim/src/network.rs", src),
+            vec![Rule::D6]
+        );
+        // The named constant is the sanctioned path.
+        let ok = "let fault_rng = root.stream(FAULT_STREAM);\n";
+        assert!(rules_in("crates/netsim/src/network.rs", ok).is_empty());
+        // `Default::default()` is not fault context.
+        let ok = "let cfg = NetConfig::default(); let rng = DetRng::new(1);\n";
+        assert!(rules_in("crates/netsim/src/network.rs", ok).is_empty());
+        // Non-fault code may stream by number (D6 stays out of the way).
+        let ok = "let red_rng = root.stream(2);\n";
+        assert!(rules_in("crates/netsim/src/network.rs", ok).is_empty());
     }
 
     #[test]

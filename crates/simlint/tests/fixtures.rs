@@ -79,6 +79,15 @@ fn d5_fixture_fires_on_unwrap_and_empty_expect() {
 }
 
 #[test]
+fn d6_fixture_fires_on_private_rng_and_raw_stream() {
+    let got = rules_of("bad_d6_fault_rng.rs");
+    assert_eq!(got.len(), 2, "{got:?}");
+    assert!(got.iter().all(|(r, _)| *r == Rule::D6));
+    assert_eq!(got[0].1, 7, "private DetRng::new attributed");
+    assert_eq!(got[1].1, 8, "raw stream borrow attributed");
+}
+
+#[test]
 fn suppressed_fixture_is_silent() {
     assert!(rules_of("suppressed_ok.rs").is_empty());
 }
@@ -218,7 +227,7 @@ fn scanning_the_fixture_tree_reports_every_bad_file() {
     // nonzero exit path) must reproduce all of the above findings.
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
     let (findings, scanned) = scan_tree(&root).expect("fixtures dir scans");
-    assert_eq!(scanned, 16, "all fixture files scanned");
+    assert_eq!(scanned, 17, "all fixture files scanned");
     let bad_files: std::collections::BTreeSet<&str> =
         findings.iter().map(|f| f.path.as_str()).collect();
     assert_eq!(
@@ -229,6 +238,7 @@ fn scanning_the_fixture_tree_reports_every_bad_file() {
             "bad_d3_randomness.rs",
             "bad_d4_lossy_cast.rs",
             "bad_d5_unwrap.rs",
+            "bad_d6_fault_rng.rs",
             "bad_e1_wildcard.rs",
             "bad_s1_stale_allow.rs",
             "bad_u1_mixed_arith.rs",

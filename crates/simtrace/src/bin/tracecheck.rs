@@ -37,6 +37,11 @@ fn required_u64_fields(ev: &str) -> Option<&'static [&'static str]> {
         "flow_start" => Some(&["flow", "bytes"]),
         "flow_finish" => Some(&["flow", "bytes", "fct_ns"]),
         "cc_update" => Some(&["flow", "rate_bps"]),
+        "link_down" => Some(&["node", "port", "flushed"]),
+        "link_up" => Some(&["node", "port"]),
+        "loss_burst" => Some(&["node", "port", "flow", "bytes"]),
+        "rto_backoff" => Some(&["flow", "level", "timeout_ns"]),
+        "reroute" => Some(&["node", "port"]),
         _ => None,
     }
 }
@@ -48,6 +53,7 @@ fn expected_sub(ev: &str) -> &'static str {
         "pfc" => "pfc",
         "flow_start" | "flow_finish" => "flow",
         "cc_update" => "cc",
+        "link_down" | "link_up" | "loss_burst" | "rto_backoff" | "reroute" => "fault",
         _ => "?",
     }
 }
@@ -111,6 +117,12 @@ fn check_file(path: &Path, text: &str, problems: &mut Vec<Problem>) {
         }
         if ev == "pfc" && v["paused"].as_bool().is_none() {
             fail("event 'pfc' missing boolean field 'paused'".to_owned());
+        }
+        if ev == "loss_burst" && v["bursty"].as_bool().is_none() {
+            fail("event 'loss_burst' missing boolean field 'bursty'".to_owned());
+        }
+        if ev == "reroute" && v["up"].as_bool().is_none() {
+            fail("event 'reroute' missing boolean field 'up'".to_owned());
         }
         if ev == "cc_update" {
             for key in ["window_bytes", "vai_bank"] {

@@ -28,16 +28,19 @@ pub enum Subsystem {
     Cc,
     /// Priority flow control pause edges.
     Pfc,
+    /// Fault injection: link up/down, loss bursts, RTO backoff, reroutes.
+    Fault,
 }
 
 impl Subsystem {
     /// Every subsystem, in mask-bit order.
-    pub const ALL: [Subsystem; 5] = [
+    pub const ALL: [Subsystem; 6] = [
         Subsystem::Engine,
         Subsystem::Port,
         Subsystem::Flow,
         Subsystem::Cc,
         Subsystem::Pfc,
+        Subsystem::Fault,
     ];
 
     /// Stable lowercase name (CLI `--trace-filter` values, JSONL `sub`
@@ -49,6 +52,7 @@ impl Subsystem {
             Subsystem::Flow => "flow",
             Subsystem::Cc => "cc",
             Subsystem::Pfc => "pfc",
+            Subsystem::Fault => "fault",
         }
     }
 
@@ -59,6 +63,7 @@ impl Subsystem {
             Subsystem::Flow => 1 << 2,
             Subsystem::Cc => 1 << 3,
             Subsystem::Pfc => 1 << 4,
+            Subsystem::Fault => 1 << 5,
         }
     }
 }

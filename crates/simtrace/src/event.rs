@@ -98,6 +98,54 @@ pub enum TraceEvent {
         /// VAI token-bank balance (0 for variants without VAI).
         vai_bank: f64,
     },
+    /// A link direction went down (fault injection), flushing its queue.
+    LinkDown {
+        /// Node owning the downed egress port.
+        node: u32,
+        /// The port number.
+        port: u16,
+        /// Queued frames flushed (dropped) by the outage.
+        flushed: u32,
+    },
+    /// A link direction came back up (fault injection).
+    LinkUp {
+        /// Node owning the restored egress port.
+        node: u32,
+        /// The port number.
+        port: u16,
+    },
+    /// A frame was destroyed on the wire by the loss model.
+    LossBurst {
+        /// Node owning the lossy egress port.
+        node: u32,
+        /// The port number.
+        port: u16,
+        /// Owning flow id.
+        flow: u32,
+        /// Wire size of the lost frame, bytes.
+        bytes: u32,
+        /// Whether the Gilbert–Elliott channel was in its bad state
+        /// (`false` for uniform loss).
+        bursty: bool,
+    },
+    /// A retransmission timeout fired and the sender backed off.
+    RtoBackoff {
+        /// Flow id.
+        flow: u32,
+        /// Backoff level after this firing (1 = first timeout).
+        level: u32,
+        /// The next armed timeout, nanoseconds.
+        timeout_ns: u64,
+    },
+    /// Routing was recomputed after a link state change.
+    Reroute {
+        /// Node whose link changed and triggered the recompute.
+        node: u32,
+        /// The port number that changed state.
+        port: u16,
+        /// `true` if the trigger was the link coming up.
+        up: bool,
+    },
 }
 
 impl TraceEvent {
@@ -111,6 +159,11 @@ impl TraceEvent {
             TraceEvent::PfcPause { .. } => Subsystem::Pfc,
             TraceEvent::FlowStart { .. } | TraceEvent::FlowFinish { .. } => Subsystem::Flow,
             TraceEvent::CcUpdate { .. } => Subsystem::Cc,
+            TraceEvent::LinkDown { .. }
+            | TraceEvent::LinkUp { .. }
+            | TraceEvent::LossBurst { .. }
+            | TraceEvent::RtoBackoff { .. }
+            | TraceEvent::Reroute { .. } => Subsystem::Fault,
         }
     }
 
@@ -125,6 +178,11 @@ impl TraceEvent {
             TraceEvent::FlowStart { .. } => "flow_start",
             TraceEvent::FlowFinish { .. } => "flow_finish",
             TraceEvent::CcUpdate { .. } => "cc_update",
+            TraceEvent::LinkDown { .. } => "link_down",
+            TraceEvent::LinkUp { .. } => "link_up",
+            TraceEvent::LossBurst { .. } => "loss_burst",
+            TraceEvent::RtoBackoff { .. } => "rto_backoff",
+            TraceEvent::Reroute { .. } => "reroute",
         }
     }
 
@@ -201,6 +259,46 @@ impl TraceEvent {
                 ("rate_bps", Value::from(rate_bps)),
                 ("vai_bank", Value::from(vai_bank)),
             ],
+            TraceEvent::LinkDown {
+                node,
+                port,
+                flushed,
+            } => vec![
+                ("node", Value::from(node)),
+                ("port", Value::from(u32::from(port))),
+                ("flushed", Value::from(flushed)),
+            ],
+            TraceEvent::LinkUp { node, port } => vec![
+                ("node", Value::from(node)),
+                ("port", Value::from(u32::from(port))),
+            ],
+            TraceEvent::LossBurst {
+                node,
+                port,
+                flow,
+                bytes,
+                bursty,
+            } => vec![
+                ("node", Value::from(node)),
+                ("port", Value::from(u32::from(port))),
+                ("flow", Value::from(flow)),
+                ("bytes", Value::from(bytes)),
+                ("bursty", Value::from(bursty)),
+            ],
+            TraceEvent::RtoBackoff {
+                flow,
+                level,
+                timeout_ns,
+            } => vec![
+                ("flow", Value::from(flow)),
+                ("level", Value::from(level)),
+                ("timeout_ns", Value::from(timeout_ns)),
+            ],
+            TraceEvent::Reroute { node, port, up } => vec![
+                ("node", Value::from(node)),
+                ("port", Value::from(u32::from(port))),
+                ("up", Value::from(up)),
+            ],
         }
     }
 
@@ -229,10 +327,15 @@ impl TraceEvent {
             | TraceEvent::PortDequeue { node, .. }
             | TraceEvent::PortDrop { node, .. }
             | TraceEvent::EcnMark { node, .. }
-            | TraceEvent::PfcPause { node, .. } => node,
+            | TraceEvent::PfcPause { node, .. }
+            | TraceEvent::LinkDown { node, .. }
+            | TraceEvent::LinkUp { node, .. }
+            | TraceEvent::LossBurst { node, .. }
+            | TraceEvent::Reroute { node, .. } => node,
             TraceEvent::FlowStart { flow, .. }
             | TraceEvent::FlowFinish { flow, .. }
-            | TraceEvent::CcUpdate { flow, .. } => flow,
+            | TraceEvent::CcUpdate { flow, .. }
+            | TraceEvent::RtoBackoff { flow, .. } => flow,
         };
         if let TraceEvent::FlowFinish { fct_ns, .. } = *self {
             let dur_us = Nanos::from_ns(fct_ns).as_micros_f64();
@@ -297,6 +400,58 @@ mod tests {
         assert_eq!(v["ts"].as_f64(), Some(6.0));
         assert_eq!(v["dur"].as_f64(), Some(4.0));
         assert_eq!(v["tid"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn fault_events_belong_to_the_fault_subsystem() {
+        let evs = [
+            TraceEvent::LinkDown {
+                node: 4,
+                port: 2,
+                flushed: 3,
+            },
+            TraceEvent::LinkUp { node: 4, port: 2 },
+            TraceEvent::LossBurst {
+                node: 4,
+                port: 2,
+                flow: 9,
+                bytes: 1064,
+                bursty: true,
+            },
+            TraceEvent::RtoBackoff {
+                flow: 9,
+                level: 2,
+                timeout_ns: 400_000,
+            },
+            TraceEvent::Reroute {
+                node: 4,
+                port: 2,
+                up: false,
+            },
+        ];
+        let names = [
+            "link_down",
+            "link_up",
+            "loss_burst",
+            "rto_backoff",
+            "reroute",
+        ];
+        for (ev, name) in evs.iter().zip(names) {
+            assert_eq!(ev.subsystem(), Subsystem::Fault);
+            assert_eq!(ev.name(), name);
+            let v = ev.to_value(Nanos(100));
+            assert_eq!(v["sub"].as_str(), Some("fault"));
+            assert_eq!(v["ev"].as_str(), Some(name));
+            let c = ev.chrome_value(Nanos(100));
+            assert_eq!(c["ph"].as_str(), Some("i"));
+            assert_eq!(c["cat"].as_str(), Some("fault"));
+        }
+        let v = evs[3].to_value(Nanos(1));
+        assert_eq!(v["level"].as_u64(), Some(2));
+        assert_eq!(v["timeout_ns"].as_u64(), Some(400_000));
+        // RtoBackoff is flow-keyed; link events are node-keyed.
+        assert_eq!(evs[3].chrome_value(Nanos(1))["tid"].as_u64(), Some(9));
+        assert_eq!(evs[0].chrome_value(Nanos(1))["tid"].as_u64(), Some(4));
     }
 
     #[test]

@@ -19,7 +19,9 @@
 
 use fairness_repro::dcsim::{Bytes, Nanos, Simulation};
 use fairness_repro::fairsim::{CcSpec, NetEnv, ProtocolKind, Variant};
-use fairness_repro::netsim::{FatTreeConfig, FlowId, FlowSpec, MonitorConfig, NetConfig};
+use fairness_repro::netsim::{
+    run_watched, FatTreeConfig, FlowId, FlowSpec, MonitorConfig, NetConfig, RunOutcome,
+};
 use fairness_repro::workloads::{
     arrivals::{poisson_arrivals, ArrivalConfig},
     distributions,
@@ -85,7 +87,17 @@ fn run(variant: Variant) -> (String, f64, f64) {
         let (world, queue) = sim.split_mut();
         world.prime(queue);
     }
-    sim.run_until(Nanos::from_millis(20));
+    let outcome = run_watched(
+        &mut sim,
+        Nanos::from_millis(20),
+        u64::MAX,
+        Nanos::from_millis(2),
+    );
+    assert_eq!(
+        outcome,
+        RunOutcome::Completed,
+        "all-reduce round must drain"
+    );
     let net = sim.world();
 
     let finishes: Vec<f64> = ring_ids

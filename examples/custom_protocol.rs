@@ -20,7 +20,9 @@ use fairness_repro::faircc::{
     AckFeedback, CcMode, CongestionControl, SamplingFrequency, SenderLimits, SfConfig, VaiConfig,
     VariableAi,
 };
-use fairness_repro::netsim::{FlowSpec, MonitorConfig, NetConfig, Topology};
+use fairness_repro::netsim::{
+    run_watched, FlowSpec, MonitorConfig, NetConfig, RunOutcome, Topology,
+};
 
 /// A toy window-based AIMD protocol driven by a deterministic INT
 /// queue-depth threshold, with optional Variable AI and Sampling
@@ -150,9 +152,14 @@ fn run(with_mechanisms: bool) -> (String, f64) {
         let (world, queue) = sim.split_mut();
         world.prime(queue);
     }
-    sim.run_until(Nanos::from_millis(50));
+    let outcome = run_watched(
+        &mut sim,
+        Nanos::from_millis(50),
+        u64::MAX,
+        Nanos::from_millis(5),
+    );
+    assert_eq!(outcome, RunOutcome::Completed, "incast must drain");
     let net = sim.world();
-    assert!(net.all_finished(), "incast must drain");
     let finishes: Vec<f64> = net
         .monitor
         .fcts()

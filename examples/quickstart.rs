@@ -12,7 +12,7 @@
 use fairness_repro::dcsim::{Bytes, Nanos, Simulation};
 use fairness_repro::fairsim::{CcSpec, NetEnv, ProtocolKind, Variant};
 use fairness_repro::metrics::jain;
-use fairness_repro::netsim::{FlowSpec, MonitorConfig, NetConfig, Topology};
+use fairness_repro::netsim::{run_watched, FlowSpec, MonitorConfig, NetConfig, Topology};
 
 fn main() {
     // 1. Topology: a 3-host star (two senders, one receiver).
@@ -54,8 +54,15 @@ fn main() {
         let (world, queue) = sim.split_mut();
         world.prime(queue);
     }
-    sim.run_until(Nanos::from_millis(5));
+    let outcome = run_watched(
+        &mut sim,
+        Nanos::from_millis(5),
+        u64::MAX,
+        Nanos::from_millis(1),
+    );
     let net = sim.world();
+    println!("run outcome: {outcome}");
+    println!();
 
     // 5. Report: per-flow goodput over time and the fairness index.
     println!("time(us)  flow0(Gbps)  flow1(Gbps)  queue(KB)  jain");

@@ -6,10 +6,12 @@
 
 use fairness_repro::dcsim::{Bytes, Nanos, Simulation};
 use fairness_repro::fairsim::{CcSpec, NetEnv, ProtocolKind, Variant};
-use fairness_repro::netsim::{FlowSpec, MonitorConfig, NetConfig, Topology};
+use fairness_repro::netsim::{
+    run_watched, FlowSpec, MonitorConfig, NetConfig, RunOutcome, Topology,
+};
 use fairness_repro::workloads::{staggered_incast, IncastConfig};
 
-fn run_incast_with_buffer(cc: CcSpec, buffer: Bytes) -> (u64, bool) {
+fn run_incast_with_buffer(cc: CcSpec, buffer: Bytes) -> (u64, RunOutcome) {
     let topo = Topology::paper_star(17);
     let env = NetEnv::incast_star(topo.base_rtt);
     let hosts = topo.hosts.clone();
@@ -44,9 +46,15 @@ fn run_incast_with_buffer(cc: CcSpec, buffer: Bytes) -> (u64, bool) {
         let (w, q) = sim.split_mut();
         w.prime(q);
     }
-    sim.run_until(Nanos::from_millis(200));
-    let net = sim.world();
-    (net.dropped_data_packets(), net.all_finished())
+    // Watchdog well above the largest backed-off RTO (default cap
+    // 10 ms), so slow go-back-N recovery never reads as a stall.
+    let outcome = run_watched(
+        &mut sim,
+        Nanos::from_millis(200),
+        u64::MAX,
+        Nanos::from_millis(25),
+    );
+    (sim.world().dropped_data_packets(), outcome)
 }
 
 /// HPCC and Swift on the paper's 16-1 incast with a realistic 512 KB
@@ -56,13 +64,13 @@ fn run_incast_with_buffer(cc: CcSpec, buffer: Bytes) -> (u64, bool) {
 fn paper_protocols_never_overflow_realistic_buffers() {
     for kind in [ProtocolKind::Hpcc, ProtocolKind::Swift] {
         for variant in [Variant::Default, Variant::VaiSf] {
-            let (drops, finished) =
+            let (drops, outcome) =
                 run_incast_with_buffer(CcSpec::new(kind, variant), Bytes::from_kb(512));
             assert_eq!(
                 drops, 0,
                 "{kind:?}/{variant:?} dropped packets in a 512 KB buffer"
             );
-            assert!(finished);
+            assert_eq!(outcome, RunOutcome::Completed);
         }
     }
 }
@@ -71,7 +79,7 @@ fn paper_protocols_never_overflow_realistic_buffers() {
 /// happen, go-back-N recovers, and all 16 MB still arrive intact.
 #[test]
 fn tiny_buffers_drop_but_everything_still_delivers() {
-    let (drops, finished) = run_incast_with_buffer(
+    let (drops, outcome) = run_incast_with_buffer(
         CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
         Bytes::from_kb(30),
     );
@@ -79,7 +87,11 @@ fn tiny_buffers_drop_but_everything_still_delivers() {
         drops > 0,
         "a 30 KB buffer must overflow under a 16-1 incast"
     );
-    assert!(finished, "go-back-N failed to recover the incast");
+    assert_eq!(
+        outcome,
+        RunOutcome::Completed,
+        "go-back-N failed to recover the incast"
+    );
 }
 
 /// DCQCN's multi-MB incast queues *do* overflow realistic buffers — the
@@ -87,10 +99,10 @@ fn tiny_buffers_drop_but_everything_still_delivers() {
 /// delivers every flow.
 #[test]
 fn dcqcn_overflows_realistic_buffers_but_recovers() {
-    let (drops, finished) = run_incast_with_buffer(
+    let (drops, outcome) = run_incast_with_buffer(
         CcSpec::new(ProtocolKind::Dcqcn, Variant::Default),
         Bytes::from_kb(512),
     );
     assert!(drops > 0, "DCQCN incast should overflow 512 KB");
-    assert!(finished);
+    assert_eq!(outcome, RunOutcome::Completed);
 }
