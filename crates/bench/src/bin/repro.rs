@@ -3,6 +3,7 @@
 //! ```text
 //! repro <figure>... [--full-scale] [--seed N]
 //! repro all [--full-scale] [--seed N]
+//! repro --sweep NAME_OR_FILE [--ensemble N] [--jobs N] [--sweep-out FILE]
 //! repro list
 //! ```
 //!
@@ -19,17 +20,27 @@
 //! vs VAI+SF.
 //! `--json` emits machine-readable summaries for the fig* targets.
 //!
+//! `--sweep NAME_OR_FILE` runs a declarative fleet sweep instead of a
+//! figure: a preset name (`repro list` prints them) or a path to a
+//! `fleet::SweepSpec` JSON file. The report (per-cell p50/p95/p99/p99.9
+//! slowdown, ensemble medians, bootstrap 95% CIs) prints as a text table,
+//! or as report JSON with `--json`; `--sweep-out FILE` also writes the
+//! JSON to a file. `--ensemble N` overrides the spec's replicate count,
+//! `--seed` its root seed, and `--jobs N` pins the worker-pool width
+//! (never affects the report bytes). Exits 1 if any run stalled.
+//!
 //! Default scale runs the incast microbenchmarks exactly as in the paper
 //! and the fat-tree simulations at reduced scale (see DESIGN.md);
 //! `--full-scale` switches the fat-tree runs to the paper's 320 hosts and
 //! 50 ms (very slow).
 //!
-//! `--trace DIR` writes per-variant trace artifacts under `DIR`
+//! `--trace DIR` writes per-run trace artifacts under `DIR`
 //! (`<figure>.<variant>.trace.jsonl`, `.chrome.json` for Perfetto, and
-//! `.metrics.json`); `--trace-filter SUB` (repeatable) restricts event
-//! collection to the named subsystems (engine/port/flow/cc/pfc/fault). The
-//! binary must be built with `--features trace` for events to be
-//! recorded; without it `--trace` still runs but emits a warning.
+//! `.metrics.json`; sweep runs use `<tag>.<cell-slug>.s<seed>.*`);
+//! `--trace-filter SUB` (repeatable) restricts event collection to the
+//! named subsystems (engine/port/flow/cc/pfc/fault). The binary must be
+//! built with `--features trace` for events to be recorded; without it
+//! `--trace` still runs but emits a warning.
 
 use bench::{run_figure, run_figure_json, FigureCtx, Scale, ALL_FIGURES, DEFAULT_SEED};
 use fairsim::{SchedulerKind, TraceConfig};
@@ -37,12 +48,16 @@ use fairsim::{SchedulerKind, TraceConfig};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Reduced;
-    let mut seed = DEFAULT_SEED;
+    let mut seed: Option<u64> = None;
     let mut json = false;
     let mut scheduler = SchedulerKind::default();
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut trace_cfg = TraceConfig::full();
     let mut figures: Vec<String> = Vec::new();
+    let mut sweep: Option<String> = None;
+    let mut ensemble: Option<usize> = None;
+    let mut jobs: Option<usize> = None;
+    let mut sweep_out: Option<std::path::PathBuf> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -52,10 +67,11 @@ fn main() {
             "--faults" => figures.push("faults".to_string()),
             "--seed" => {
                 i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--seed needs an integer"));
+                seed = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--seed needs an integer")),
+                );
             }
             "--scheduler" => {
                 i += 1;
@@ -79,9 +95,50 @@ fn main() {
                     .unwrap_or_else(|| die("--trace-filter needs engine|port|flow|cc|pfc"));
                 trace_cfg = trace_cfg.with_filter(sub);
             }
+            "--sweep" => {
+                i += 1;
+                let target = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--sweep needs a preset name or spec file"));
+                sweep = Some(target.clone());
+            }
+            "--ensemble" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--ensemble needs a replicate count >= 1"));
+                if n == 0 {
+                    die("--ensemble needs a replicate count >= 1");
+                }
+                ensemble = Some(n);
+            }
+            "--jobs" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a worker count >= 1"));
+                if n == 0 {
+                    die("--jobs needs a worker count >= 1");
+                }
+                jobs = Some(n);
+            }
+            "--sweep-out" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--sweep-out needs a file path"));
+                sweep_out = Some(std::path::PathBuf::from(path));
+            }
             "list" => {
                 for f in ALL_FIGURES {
                     println!("{f}");
+                }
+                println!();
+                println!("sweep presets (use with --sweep):");
+                for p in fleet::preset_names() {
+                    println!("{p}");
                 }
                 return;
             }
@@ -98,7 +155,7 @@ fn main() {
         i += 1;
     }
 
-    if figures.is_empty() {
+    if figures.is_empty() && sweep.is_none() {
         print_usage();
         std::process::exit(2);
     }
@@ -110,7 +167,17 @@ fn main() {
         );
     }
 
-    let mut ctx = FigureCtx::new(scale, seed).with_scheduler(scheduler);
+    if let Some(target) = sweep {
+        if !figures.is_empty() {
+            die("--sweep and figure names are mutually exclusive");
+        }
+        run_sweep_mode(
+            &target, seed, ensemble, jobs, scheduler, trace_dir, trace_cfg, json, sweep_out,
+        );
+        return;
+    }
+
+    let mut ctx = FigureCtx::new(scale, seed.unwrap_or(DEFAULT_SEED)).with_scheduler(scheduler);
     if trace_dir.is_some() {
         ctx = ctx.with_trace(trace_cfg, trace_dir);
     }
@@ -132,13 +199,76 @@ fn main() {
     }
 }
 
+/// Resolve, run, and report a fleet sweep. Exits 1 if any run stalled.
+#[allow(clippy::too_many_arguments)]
+fn run_sweep_mode(
+    target: &str,
+    seed: Option<u64>,
+    ensemble: Option<usize>,
+    jobs: Option<usize>,
+    scheduler: SchedulerKind,
+    trace_dir: Option<std::path::PathBuf>,
+    trace_cfg: TraceConfig,
+    json: bool,
+    sweep_out: Option<std::path::PathBuf>,
+) {
+    let mut spec = match fleet::preset(target) {
+        Some(spec) => spec,
+        None => {
+            let text = std::fs::read_to_string(target).unwrap_or_else(|e| {
+                die(&format!(
+                    "--sweep '{target}' is neither a preset (run `repro list`) \
+                     nor a readable spec file: {e}"
+                ))
+            });
+            fleet::SweepSpec::parse(&text)
+                .unwrap_or_else(|e| die(&format!("cannot parse sweep spec {target}: {e}")))
+        }
+    };
+    if let Some(seed) = seed {
+        spec.ensemble.root_seed = seed;
+    }
+    if let Some(n) = ensemble {
+        spec.ensemble.replicates = n;
+    }
+
+    let mut cfg = fleet::SweepConfig::new().with_scheduler(scheduler);
+    if let Some(n) = jobs {
+        cfg = cfg.with_workers(n);
+    }
+    if trace_dir.is_some() {
+        cfg = cfg.with_trace(trace_cfg, trace_dir);
+    }
+
+    let outcome = fleet::run_sweep(&spec, &cfg);
+    let report = outcome.report();
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.render_text());
+    }
+    if let Some(path) = sweep_out {
+        std::fs::write(&path, format!("{}\n", report.to_json()))
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+    }
+    if outcome.any_stalled() {
+        eprintln!(
+            "repro: sweep '{}' had stalled runs (see outcomes)",
+            spec.name
+        );
+        std::process::exit(1);
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "usage: repro <figure>... [--full-scale] [--seed N] [--json] \
          [--scheduler heap|wheel] [--faults] [--trace DIR] \
-         [--trace-filter SUB]... | repro all | repro list"
+         [--trace-filter SUB]... | repro --sweep NAME_OR_FILE [--ensemble N] \
+         [--jobs N] [--sweep-out FILE] | repro all | repro list"
     );
     eprintln!("figures: {}", ALL_FIGURES.join(" "));
+    eprintln!("sweep presets: {}", fleet::preset_names().join(" "));
     eprintln!("trace subsystems: engine port flow cc pfc fault");
 }
 

@@ -14,9 +14,8 @@ use fairsim::render::{f3, fmt_size, TextTable};
 use fairsim::scenarios::LONG_FLOW_BYTES;
 use fairsim::series::thin;
 use fairsim::{
-    CcSpec, DatacenterResult, DatacenterScenario, FaultResult, FaultScenario, IncastResult,
-    IncastScenario, ProtocolKind, RunCtx, Scenario, SchedulerKind, TraceConfig, TraceLevel, Tracer,
-    Variant,
+    CcSpec, DatacenterResult, FaultResult, IncastResult, IncastScenario, ProtocolKind, RunCtx,
+    Scenario, SchedulerKind, TraceConfig, TraceLevel, Tracer, Variant,
 };
 use netsim::FatTreeConfig;
 use workloads::distributions;
@@ -97,23 +96,6 @@ impl FigureCtx {
     }
 }
 
-/// Join a scenario thread, labeling any panic with the variant that
-/// raised it (a bare `expect` would lose which of the parallel variants
-/// failed).
-fn join_labeled<T>(handle: std::thread::ScopedJoinHandle<'_, T>, label: &str) -> T {
-    match handle.join() {
-        Ok(v) => v,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            panic!("scenario '{label}' panicked: {msg}");
-        }
-    }
-}
-
 /// File-name slug for a variant label: lowercase alphanumerics, runs of
 /// anything else collapsed to `-`.
 fn slug(label: &str) -> String {
@@ -156,38 +138,37 @@ fn write_trace_artifacts(ctx: &FigureCtx, label: &str, tracer: &Tracer) {
     );
 }
 
-/// Write artifacts for every traced result in a batch.
-fn write_batch_traces<'a>(
-    ctx: &FigureCtx,
-    results: impl IntoIterator<Item = (&'a str, &'a Option<Tracer>)>,
-) {
-    for (label, trace) in results {
-        if let Some(tracer) = trace {
-            write_trace_artifacts(ctx, label, tracer);
-        }
-    }
+/// The fleet execution config for a figure context: same scheduler,
+/// trace level, artifact directory, and tag the single-run path uses.
+fn sweep_cfg(ctx: &FigureCtx) -> fleet::SweepConfig {
+    fleet::SweepConfig::new()
+        .with_scheduler(ctx.scheduler)
+        .with_trace(ctx.trace, ctx.trace_dir.clone())
+        .with_tag(&ctx.tag)
+}
+
+/// Run a single-seed sweep and unwrap each cell's one run.
+fn run_single_seed(spec: &fleet::SweepSpec, ctx: &FigureCtx) -> Vec<fleet::RunOutput> {
+    fleet::run_sweep(spec, &sweep_cfg(ctx))
+        .into_cells()
+        .into_iter()
+        .map(fleet::CellOutcome::into_only_run)
+        .collect()
 }
 
 fn run_incasts(specs: &[CcSpec], senders: usize, ctx: &FigureCtx) -> Vec<IncastResult> {
-    let rctx = ctx.run_ctx();
-    // Variants are independent: run them on scoped threads.
-    let results: Vec<IncastResult> = std::thread::scope(|s| {
-        let handles: Vec<_> = specs
-            .iter()
-            .map(|&cc| {
-                (
-                    cc.label(),
-                    s.spawn(move || IncastScenario::paper(senders, cc, rctx.seed).run_with(&rctx)),
-                )
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|(label, h)| join_labeled(h, &label))
-            .collect()
-    });
-    write_batch_traces(ctx, results.iter().map(|r| (r.label.as_str(), &r.trace)));
-    results
+    let spec = fleet::SweepSpec {
+        name: format!("incast-{senders}"),
+        cc: specs.to_vec(),
+        workload: fleet::WorkloadAxis::Incast {
+            degrees: vec![senders],
+        },
+        ensemble: fleet::Ensemble::single(ctx.seed),
+    };
+    run_single_seed(&spec, ctx)
+        .into_iter()
+        .map(|r| r.into_incast().expect("incast sweep yields incast runs"))
+        .collect()
 }
 
 fn run_datacenters(
@@ -195,34 +176,24 @@ fn run_datacenters(
     workload_names: &[&str],
     ctx: &FigureCtx,
 ) -> Vec<DatacenterResult> {
-    let rctx = ctx.run_ctx();
-    let make = |cc: CcSpec| {
-        let names: Vec<String> = workload_names.iter().map(|s| s.to_string()).collect();
-        match ctx.scale {
-            Scale::Reduced => DatacenterScenario::reduced(names, cc, rctx.seed),
-            Scale::Full => DatacenterScenario {
-                fat_tree: FatTreeConfig::paper(),
-                workloads: names,
-                load: 0.5,
-                horizon: Nanos::from_millis(50),
-                cc,
-                seed: rctx.seed,
-                scheduler: rctx.scheduler,
-            },
-        }
+    let mix: Vec<String> = workload_names.iter().map(|s| s.to_string()).collect();
+    let spec = fleet::SweepSpec {
+        name: format!("dc-{}", slug(&mix.join("-"))),
+        cc: specs.to_vec(),
+        workload: fleet::WorkloadAxis::Datacenter {
+            mixes: vec![mix],
+            loads: vec![0.5],
+            full_scale: ctx.scale == Scale::Full,
+        },
+        ensemble: fleet::Ensemble::single(ctx.seed),
     };
-    let results: Vec<DatacenterResult> = std::thread::scope(|s| {
-        let handles: Vec<_> = specs
-            .iter()
-            .map(|&cc| (cc.label(), s.spawn(move || make(cc).run_with(&rctx))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|(label, h)| join_labeled(h, &label))
-            .collect()
-    });
-    write_batch_traces(ctx, results.iter().map(|r| (r.label.as_str(), &r.trace)));
-    results
+    run_single_seed(&spec, ctx)
+        .into_iter()
+        .map(|r| {
+            r.into_datacenter()
+                .expect("datacenter sweep yields datacenter runs")
+        })
+        .collect()
 }
 
 /// The variant set the paper's incast figures compare, per protocol.
@@ -630,63 +601,50 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// the figure checks that fast convergence to fairness survives — and
 /// that no cell wedges (every run outcome is reported).
 pub fn faults(ctx: &FigureCtx) -> String {
-    let rctx = ctx.run_ctx();
-    let flap = (Nanos::from_micros(200), Nanos::from_micros(40));
+    let flap = Some((Nanos::from_micros(200), Nanos::from_micros(40)));
     // The sweep grid: loss rate x flap cadence, plus a clean reference
     // cell (which must reproduce the fault-free baseline bit-for-bit).
-    type Cell = (String, f64, Option<(Nanos, Nanos)>);
-    let grid: Vec<Cell> = vec![
-        ("clean".into(), 0.0, None),
-        ("loss 1e-4".into(), 1e-4, None),
-        ("loss 1e-3".into(), 1e-3, None),
-        ("flap 200us".into(), 0.0, Some(flap)),
-        ("loss 1e-3 + flap".into(), 1e-3, Some(flap)),
-    ];
-    let base = CcSpec::new(ProtocolKind::Hpcc, Variant::Default);
-    let treat = CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf);
-    let make = |cc: CcSpec, loss: f64, flap: Option<(Nanos, Nanos)>| {
-        let names = vec![distributions::FB_HADOOP.to_string()];
-        let mut sc = match ctx.scale {
-            Scale::Reduced => FaultScenario::reduced(names, cc, rctx.seed),
-            Scale::Full => FaultScenario {
-                fat_tree: FatTreeConfig::paper(),
-                horizon: Nanos::from_millis(50),
-                ..FaultScenario::reduced(names, cc, rctx.seed)
-            },
-        };
-        sc.loss = loss;
-        sc.flap = flap;
-        sc
+    let cell = |name: &str, loss: f64, flap: Option<(Nanos, Nanos)>| fleet::FaultCell {
+        name: name.to_string(),
+        loss,
+        bursty: false,
+        flap,
     };
-    let make = &make;
-    let results: Vec<(String, FaultResult, FaultResult)> = std::thread::scope(|s| {
-        let handles: Vec<_> = grid
-            .iter()
-            .map(|(name, loss, flap)| {
-                let (l, fl) = (*loss, *flap);
-                (
-                    name.clone(),
-                    s.spawn(move || make(base, l, fl).run_with(&rctx)),
-                    s.spawn(move || make(treat, l, fl).run_with(&rctx)),
-                )
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|(name, hb, ht)| {
-                let b = join_labeled(hb, &format!("{name} / baseline"));
-                let t = join_labeled(ht, &format!("{name} / VAI+SF"));
-                (name, b, t)
-            })
-            .collect()
-    });
-    for (name, b, t) in &results {
-        for r in [b, t] {
-            if let Some(tracer) = &r.trace {
-                write_trace_artifacts(ctx, &format!("{name} {}", r.label), tracer);
-            }
-        }
-    }
+    let grid = vec![
+        cell("clean", 0.0, None),
+        cell("loss 1e-4", 1e-4, None),
+        cell("loss 1e-3", 1e-3, None),
+        cell("flap 200us", 0.0, flap),
+        cell("loss 1e-3 + flap", 1e-3, flap),
+    ];
+    let names: Vec<String> = grid.iter().map(|c| c.name.clone()).collect();
+    let spec = fleet::SweepSpec {
+        name: "faults".to_string(),
+        cc: vec![
+            CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
+            CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+        ],
+        workload: fleet::WorkloadAxis::Faults {
+            mix: vec![distributions::FB_HADOOP.to_string()],
+            loads: vec![0.5],
+            cells: grid,
+            full_scale: ctx.scale == Scale::Full,
+        },
+        ensemble: fleet::Ensemble::single(ctx.seed),
+    };
+    // Expansion order is grid cells outer, cc inner, so runs come back as
+    // (baseline, treatment) pairs per grid cell.
+    let mut runs = run_single_seed(&spec, ctx)
+        .into_iter()
+        .map(|r| r.into_fault().expect("fault sweep yields fault runs"));
+    let results: Vec<(String, FaultResult, FaultResult)> = names
+        .into_iter()
+        .map(|name| {
+            let b = runs.next().expect("two runs per fault-grid cell");
+            let t = runs.next().expect("two runs per fault-grid cell");
+            (name, b, t)
+        })
+        .collect();
 
     let mut out =
         String::from("== Fault sweep: FCT slowdown CDFs under loss and link flaps ==\n\n");
@@ -828,6 +786,14 @@ where
             (smp.t.as_micros_f64(), metrics::jain(&rates))
         })
         .collect();
+    let fcts = net.monitor.fcts().to_vec();
+    let mut raw: Vec<(u32, u64, f64)> = Vec::with_capacity(fcts.len());
+    for r in &fcts {
+        // Same denominator as the stock scenarios: the pristine ideal FCT.
+        let ideal = net.ideal_fct(r.flow);
+        let slowdown = (r.fct().as_u64() as f64 / ideal.as_u64() as f64).max(1.0);
+        raw.push((r.flow.0, r.size.as_u64(), slowdown));
+    }
     IncastResult {
         label: label.to_string(),
         jain,
@@ -842,7 +808,8 @@ where
                 )
             })
             .collect(),
-        fcts: net.monitor.fcts().to_vec(),
+        fcts,
+        raw,
         all_finished: net.all_finished(),
         outcome,
         events_handled,
@@ -1117,17 +1084,26 @@ pub fn ablation_degree(ctx: &FigureCtx) -> String {
         "spread VAI SF(us)",
         "improvement",
     ]);
-    for senders in [8usize, 16, 32, 64, 96] {
-        let results = run_incasts(
-            &[
-                CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
-                CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
-            ],
-            senders,
-            ctx,
-        );
-        let d = results[0].finish_spread_us();
-        let v = results[1].finish_spread_us();
+    let degrees = vec![8usize, 16, 32, 64, 96];
+    let spec = fleet::SweepSpec {
+        name: "ablation-degree".to_string(),
+        cc: vec![
+            CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
+            CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+        ],
+        workload: fleet::WorkloadAxis::Incast {
+            degrees: degrees.clone(),
+        },
+        ensemble: fleet::Ensemble::single(ctx.seed),
+    };
+    // One multi-degree sweep; cells come back (default, VAI SF) per degree.
+    let results: Vec<IncastResult> = run_single_seed(&spec, ctx)
+        .into_iter()
+        .map(|r| r.into_incast().expect("incast sweep yields incast runs"))
+        .collect();
+    for (senders, pair) in degrees.iter().zip(results.chunks_exact(2)) {
+        let d = pair[0].finish_spread_us();
+        let v = pair[1].finish_spread_us();
         tbl.row(vec![
             format!("{senders}"),
             format!("{d:.0}"),

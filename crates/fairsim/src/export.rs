@@ -184,6 +184,7 @@ mod tests {
                 start: dcsim::Nanos(0),
                 finish: dcsim::Nanos(5_000),
             }],
+            raw: vec![(0, 1000, 1.25)],
             all_finished: true,
             outcome: netsim::RunOutcome::Completed,
             events_handled: 0,

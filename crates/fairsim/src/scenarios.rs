@@ -273,11 +273,20 @@ impl Scenario for IncastScenario {
         }
         let all_finished = net.all_finished();
         let fcts = net.monitor.fcts().to_vec();
+        let mut raw: Vec<(u32, u64, f64)> = Vec::with_capacity(fcts.len());
+        for r in &fcts {
+            // Same denominator as the datacenter scenarios: the pristine
+            // ideal FCT, so staggered-queueing delay shows up as slowdown.
+            let ideal = net.ideal_fct(r.flow);
+            let slowdown = (r.fct().as_u64() as f64 / ideal.as_u64() as f64).max(1.0);
+            raw.push((r.flow.0, r.size.as_u64(), slowdown));
+        }
         IncastResult {
             label: self.cc.label(),
             jain: jain_series,
             queue: queue_series,
             fcts,
+            raw,
             all_finished,
             outcome,
             events_handled,
@@ -332,6 +341,10 @@ pub struct IncastResult {
     pub queue: Vec<(f64, u64)>,
     /// Completion records (start-vs-finish scatter).
     pub fcts: Vec<FctRecord>,
+    /// Per-flow raw outcomes `(flow id, size, slowdown)` against the
+    /// pristine ideal FCT — the sample stream the fleet sweep harness
+    /// aggregates into tail percentiles.
+    pub raw: Vec<(u32, u64, f64)>,
     /// Whether every flow completed before the horizon.
     pub all_finished: bool,
     /// Structured run disposition from the stall watchdog (completed /
@@ -1093,6 +1106,7 @@ mod tests {
             ],
             queue: vec![(0.0, 100), (10.0, 50)],
             fcts: vec![],
+            raw: vec![],
             all_finished: true,
             outcome: RunOutcome::Completed,
             events_handled: 0,

@@ -51,6 +51,7 @@ mod tests {
             jain,
             queue: vec![],
             fcts: vec![],
+            raw: vec![],
             all_finished: true,
             outcome: netsim::RunOutcome::Completed,
             events_handled: 0,

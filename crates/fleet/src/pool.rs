@@ -1,0 +1,101 @@
+//! The sweep run pool: a work-stealing `std::thread::scope` executor
+//! whose output is independent of worker count and dispatch order.
+//!
+//! Jobs are indexed `0..n`; workers race on a shared atomic cursor
+//! (cheap work stealing — an idle worker grabs the next undone index,
+//! so a slow cell never serializes the sweep behind it) and write each
+//! result into its own pre-allocated slot. The caller gets results in
+//! index order no matter which worker ran what, which is the first half
+//! of the fleet determinism contract (the other half is that each job
+//! is itself deterministic given its seed).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count to use when the caller does not pin one: the machine's
+/// available parallelism, or 4 if that cannot be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Run `f(0), f(1), ..., f(n - 1)` across up to `workers` scoped
+/// threads and return the results in index order.
+///
+/// `f` must be safe to call concurrently from multiple threads (it is
+/// `Sync`); results land in index order regardless of scheduling.
+/// Panics in `f` propagate to the caller after the scope joins.
+pub fn run_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(i);
+                    *slots[i].lock().expect("sweep slot mutex poisoned") = Some(result);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("sweep worker panicked");
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("sweep slot mutex poisoned")
+                .unwrap_or_else(|| panic!("sweep job {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order_for_any_worker_count() {
+        let serial = run_indexed(17, 1, |i| i * i);
+        let wide = run_indexed(17, 5, |i| i * i);
+        let oversubscribed = run_indexed(17, 64, |i| i * i);
+        let expected: Vec<usize> = (0..17).map(|i| i * i).collect();
+        assert_eq!(serial, expected);
+        assert_eq!(wide, expected);
+        assert_eq!(oversubscribed, expected);
+    }
+
+    #[test]
+    fn zero_jobs_is_an_empty_result() {
+        let out: Vec<u32> = run_indexed(0, 8, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(100, 7, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "job {i} ran a wrong number of times"
+            );
+        }
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`cc_hpcc`] / [`cc_swift`] / [`cc_dcqcn`] — the protocols;
 //! * [`workloads`] / [`metrics`] / [`fluid`] — traffic, measurement, and
 //!   the analytic model;
-//! * [`fairsim`] — ready-made paper scenarios.
+//! * [`fairsim`] — ready-made paper scenarios;
+//! * [`fleet`] — declarative scenario sweeps, seed ensembles, and
+//!   statistical reports over those scenarios.
 //!
 //! Start with `examples/quickstart.rs`.
 
@@ -24,6 +26,7 @@ pub use cc_timely;
 pub use dcsim;
 pub use faircc;
 pub use fairsim;
+pub use fleet;
 pub use fluid;
 pub use metrics;
 pub use netsim;

@@ -145,3 +145,40 @@ fn incast_96_1_with_vai_sf_converges_and_drains() {
         );
     }
 }
+
+/// The headline tail-latency claim, restated over a seed ensemble: the
+/// *ensemble median* of per-seed p99 slowdowns under VAI+SF stays below
+/// the baseline's on the 16-1 incast.
+///
+/// Tolerance: we require VAI+SF to win by at least 3% (factor 0.97)
+/// rather than merely tie. The 3-seed ensemble at seed 42 shows a ~11%
+/// gap (p99 median ≈ 14.8x vs 16.7x), so 3% leaves headroom for seed
+/// noise while still failing if the mechanism stops helping the tail;
+/// a strict `<` would pass on a 0.01% fluke win and test nothing.
+#[test]
+fn vai_sf_improves_ensemble_median_p99_slowdown() {
+    use fairness_repro::fleet::{run_sweep, Ensemble, SweepConfig, SweepSpec, WorkloadAxis};
+
+    let spec = SweepSpec {
+        name: "claim-p99".to_string(),
+        cc: vec![
+            CcSpec::new(ProtocolKind::Hpcc, Variant::Default),
+            CcSpec::new(ProtocolKind::Hpcc, Variant::VaiSf),
+        ],
+        workload: WorkloadAxis::Incast { degrees: vec![16] },
+        ensemble: Ensemble::new(42, 3),
+    };
+    let report = run_sweep(&spec, &SweepConfig::new()).report();
+    assert_eq!(report.cells.len(), 2);
+    let base = report.cells[0]
+        .p99_median
+        .expect("baseline ensemble produced samples");
+    let vai_sf = report.cells[1]
+        .p99_median
+        .expect("VAI+SF ensemble produced samples");
+    assert!(
+        vai_sf < base * 0.97,
+        "ensemble-median p99 slowdown: VAI+SF {vai_sf:.3} should beat baseline {base:.3} \
+         by at least 3%"
+    );
+}
