@@ -17,8 +17,13 @@
 //! numbers include the instrumented build's overhead. Usage:
 //!
 //! ```text
-//! perfbase [--out PATH] [--seed N]
+//! perfbase [--out PATH] [--seed N] [--check BASELINE]
 //! ```
+//!
+//! `--check BASELINE` compares the fresh measurements against a committed
+//! `BENCH_engine.json` and exits nonzero when any workload×scheduler cell
+//! regresses by more than 10% in events/sec (the CI perf gate). In check
+//! mode no report is written unless `--out` is also given.
 
 use std::time::Instant;
 
@@ -112,19 +117,74 @@ fn fat_tree(scheduler: SchedulerKind, seed: u64) -> RunStats {
     }
 }
 
+/// Events/sec a baseline cell may lose before `--check` fails.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Compare fresh per-workload measurements against a committed baseline
+/// report. Returns the number of cells regressing beyond tolerance.
+fn check_against_baseline(
+    baseline: &Value,
+    fresh: &[(String, f64, f64)], // (workload, heap ev/s, wheel ev/s)
+) -> usize {
+    let Some(base_workloads) = baseline.get("workloads").and_then(|w| w.as_array()) else {
+        eprintln!("perfbase: baseline has no `workloads` array");
+        std::process::exit(2);
+    };
+    let base_cell = |name: &str, sched: &str| -> Option<f64> {
+        base_workloads
+            .iter()
+            .find(|w| w.get("name").and_then(|n| n.as_str()) == Some(name))?
+            .get(sched)?
+            .get("events_per_sec")?
+            .as_f64()
+    };
+    let mut regressions = 0;
+    for (name, heap_eps, wheel_eps) in fresh {
+        for (sched, eps) in [("heap", *heap_eps), ("wheel", *wheel_eps)] {
+            let Some(base) = base_cell(name, sched) else {
+                println!("check {name}/{sched}: no baseline cell — skipped");
+                continue;
+            };
+            let ratio = eps / base;
+            let verdict = if ratio < 1.0 - REGRESSION_TOLERANCE {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "check {name:<12} {sched:<5} {eps:>12.0} ev/s vs baseline {base:>12.0} \
+                 ({:+.1}%) {verdict}",
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    regressions
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_engine.json".to_string();
+    let mut out_given = false;
+    let mut check_path: Option<String> = None;
     let mut seed = bench::DEFAULT_SEED;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => {
                 i += 1;
+                out_given = true;
                 out_path = args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!("perfbase: --out needs a path");
                     std::process::exit(2);
                 });
+            }
+            "--check" => {
+                i += 1;
+                check_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("perfbase: --check needs a baseline path");
+                    std::process::exit(2);
+                }));
             }
             "--seed" => {
                 i += 1;
@@ -135,12 +195,25 @@ fn main() {
             }
             other => {
                 eprintln!("perfbase: unknown argument {other}");
-                eprintln!("usage: perfbase [--out PATH] [--seed N]");
+                eprintln!("usage: perfbase [--out PATH] [--seed N] [--check BASELINE]");
                 std::process::exit(2);
             }
         }
         i += 1;
     }
+
+    // Load the baseline before the (slow) measurement loop so a bad
+    // path or malformed file fails immediately.
+    let baseline: Option<Value> = check_path.as_ref().map(|base_path| {
+        let text = std::fs::read_to_string(base_path).unwrap_or_else(|e| {
+            eprintln!("perfbase: cannot read baseline {base_path}: {e}");
+            std::process::exit(2);
+        });
+        Value::parse(&text).unwrap_or_else(|e| {
+            eprintln!("perfbase: baseline {base_path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    });
 
     type Runner = Box<dyn Fn(SchedulerKind) -> RunStats>;
     let workloads: Vec<(&str, usize, Runner)> = vec![
@@ -165,6 +238,7 @@ fn main() {
     ];
 
     let mut entries = Vec::new();
+    let mut fresh: Vec<(String, f64, f64)> = Vec::new();
     for (name, passes, runner) in &workloads {
         let mut occupancy_hwm = 0u64;
         let heap = measure(*passes, || {
@@ -187,6 +261,11 @@ fn main() {
             heap.events_per_sec(),
             wheel.events_per_sec(),
         );
+        fresh.push((
+            name.to_string(),
+            heap.events_per_sec(),
+            wheel.events_per_sec(),
+        ));
         entries.push(obj([
             ("name", Value::from(*name)),
             ("events", Value::from(heap.events)),
@@ -197,16 +276,30 @@ fn main() {
         ]));
     }
 
-    let report = obj([
-        ("schema", Value::from("BENCH_engine/v1")),
-        ("seed", Value::from(seed)),
-        ("trace_instrumented", Value::from(simtrace::ENABLED)),
-        ("dense_live_timers", Value::from(u64::from(DENSE_LIVE))),
-        ("workloads", Value::Arr(entries)),
-    ]);
-    std::fs::write(&out_path, format!("{}\n", report.pretty())).unwrap_or_else(|e| {
-        eprintln!("perfbase: cannot write {out_path}: {e}");
+    let regressions = match &baseline {
+        Some(b) => check_against_baseline(b, &fresh),
+        None => 0,
+    };
+
+    if check_path.is_none() || out_given {
+        let report = obj([
+            ("schema", Value::from("BENCH_engine/v1")),
+            ("seed", Value::from(seed)),
+            ("trace_instrumented", Value::from(simtrace::ENABLED)),
+            ("dense_live_timers", Value::from(u64::from(DENSE_LIVE))),
+            ("workloads", Value::Arr(entries)),
+        ]);
+        std::fs::write(&out_path, format!("{}\n", report.pretty())).unwrap_or_else(|e| {
+            eprintln!("perfbase: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {out_path}");
+    }
+    if regressions > 0 {
+        eprintln!(
+            "perfbase: {regressions} cell(s) regressed more than {:.0}% vs baseline",
+            REGRESSION_TOLERANCE * 100.0
+        );
         std::process::exit(1);
-    });
-    println!("wrote {out_path}");
+    }
 }

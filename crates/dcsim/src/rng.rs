@@ -11,6 +11,17 @@
 //! non-cryptographic, 256-bit state — exactly what a network simulator
 //! needs, with no external dependency so the workspace builds hermetically.
 
+/// Stream label for workload sampling (flow arrivals, sizes).
+pub const WORKLOAD_STREAM: u64 = 0;
+/// Stream label for ECMP path hashing.
+pub const ECMP_STREAM: u64 = 1;
+/// Stream label for RED marking draws.
+pub const RED_STREAM: u64 = 2;
+/// Stream label for probabilistic feedback draws.
+pub const FEEDBACK_STREAM: u64 = 3;
+// Stream 4 is fault injection; netsim::fault owns FAULT_STREAM so the
+// constant lives next to the code it disciplines.
+
 /// SplitMix64 step: used for seed derivation only, never as the main RNG.
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
@@ -58,8 +69,10 @@ impl DetRng {
 
     /// Derive an independent child stream.
     ///
-    /// `label` identifies the consumer (e.g. 0 = workload, 1 = ECMP,
-    /// 2 = RED, 3 = probabilistic feedback, 4 = fault injection). The
+    /// `label` identifies the consumer; use the named constants
+    /// ([`WORKLOAD_STREAM`], [`ECMP_STREAM`], [`RED_STREAM`],
+    /// [`FEEDBACK_STREAM`], `netsim::fault::FAULT_STREAM`) rather than raw
+    /// numbers so assignments stay auditable. The
     /// child depends only on
     /// `(seed, label)`, never on how much randomness the parent has already
     /// consumed, which keeps subsystems decoupled.

@@ -1,7 +1,7 @@
 //! The network world: arenas of nodes, ports, and flows, plus the event
 //! handlers that move packets between them.
 
-use dcsim::{Bytes, DetRng, Nanos, Scheduler, World};
+use dcsim::{Bytes, DetRng, Nanos, Scheduler, World, RED_STREAM};
 use faircc::{AckFeedback, CongestionControl, IntHop};
 use simtrace::{Subsystem, TraceEvent, Tracer};
 
@@ -224,7 +224,7 @@ impl NetBuilder {
             .collect();
         let routes = RoutingTable::compute(&adj, &hosts);
         let rng = DetRng::new(cfg.seed);
-        let red_rng = rng.stream(2);
+        let red_rng = rng.stream(RED_STREAM);
         let fault_rng = rng.stream(FAULT_STREAM);
         let faults_active = !cfg.faults.is_empty();
         // Attach loss models to both directions of each faulted link, and

@@ -1,0 +1,30 @@
+//! P2 fixture: hash-container iteration feeding event scheduling and
+//! metrics. `report` iterates its own HashMap (local finding, with the
+//! BTreeMap swap fix on the declaration); `schedule_ready` consumes
+//! `gather_ready`, whose results are collected in RandomState order
+//! (interprocedural finding at the call site).
+
+use std::collections::HashMap;
+
+fn gather_ready() -> Vec<u64> {
+    let pending: HashMap<u64, u64> = HashMap::new();
+    let mut out = Vec::new();
+    for (id, _) in &pending {
+        out.push(*id);
+    }
+    out
+}
+
+fn schedule_ready(q: &mut EventQueue) {
+    for id in gather_ready() {
+        q.schedule_at(id);
+    }
+}
+
+fn report(reg: &mut MetricsRegistry) {
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    seen.insert(1, 2);
+    for (_, v) in &seen {
+        reg.counter_add("seen", *v);
+    }
+}

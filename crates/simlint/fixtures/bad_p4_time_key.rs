@@ -1,0 +1,20 @@
+//! P4 fixture: event heaps keyed by bare time. The bare-`Nanos` heap and
+//! the push sites fire without a fix; the `(Nanos, FlowId)` declaration
+//! gets the mechanical `u64` tiebreak-slot insertion.
+
+use std::collections::BinaryHeap;
+
+fn pending_deadlines() -> BinaryHeap<Nanos> {
+    let heap: BinaryHeap<Nanos> = BinaryHeap::new();
+    heap
+}
+
+fn enqueue(heap: &mut BinaryHeap<(Nanos, FlowId)>, at: Nanos, flow: FlowId) {
+    heap.push((at, flow));
+}
+
+fn build_queue(at: Nanos, flow: FlowId) -> BinaryHeap<(Nanos, FlowId)> {
+    let mut q: BinaryHeap<(Nanos, FlowId)> = BinaryHeap::new();
+    q.push((at, flow));
+    q
+}

@@ -1,0 +1,30 @@
+//! P5 fixture: order-sensitive float accumulation. `fairness_index` sums
+//! directly over a HashMap (local finding); `mean_sample` reduces over
+//! `gather_samples`, whose element order comes from a hash iteration two
+//! hops away (interprocedural finding).
+
+use std::collections::HashMap;
+
+fn fairness_index(shares: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, s) in shares {
+        total += *s;
+    }
+    total
+}
+
+fn gather_samples(m: &HashMap<u64, u64>) -> Vec<f64> {
+    let mut v = Vec::new();
+    for (_, x) in m {
+        v.push(*x as f64);
+    }
+    v
+}
+
+fn mean_sample(m: &HashMap<u64, u64>) -> f64 {
+    let mut sum = 0.0;
+    for s in gather_samples(m) {
+        sum += s;
+    }
+    sum
+}

@@ -93,6 +93,8 @@ pub struct FnItem {
     pub body: Option<Block>,
     /// Inside `#[cfg(test)]` / `#[test]` code.
     pub cfg_test: bool,
+    /// 1-based source line of the function name.
+    pub line: usize,
 }
 
 /// A top-level or nested item.
@@ -158,6 +160,12 @@ pub enum Item {
         ty: TypeRef,
         /// Initializer, when parsed.
         init: Option<Expr>,
+        /// Declared with `static` rather than `const`.
+        is_static: bool,
+        /// `static mut` (always a P1 finding when it is).
+        is_mut: bool,
+        /// 1-based source line of the declaration keyword.
+        line: usize,
     },
     /// Anything else (type aliases, extern blocks, macro_rules, …).
     Other,

@@ -75,8 +75,10 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod callgraph;
 pub mod emit;
 pub mod fix;
+pub mod flow;
 pub mod infer;
 pub mod lex;
 pub mod parse;
@@ -113,13 +115,23 @@ pub enum Rule {
     O1,
     /// Wildcard `_` match arms over workspace protocol enums.
     E1,
+    /// Shared mutable state reachable from engine hot paths.
+    P1,
+    /// Order-unstable iteration feeding event scheduling or metrics.
+    P2,
+    /// DetRng stream discipline violated across call chains.
+    P3,
+    /// Event heaps keyed by bare time with no sequence tiebreak.
+    P4,
+    /// Order-sensitive float accumulation in reduction positions.
+    P5,
     /// Stale `simlint: allow(...)` comments that suppress nothing.
     S1,
 }
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 17] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -131,6 +143,11 @@ impl Rule {
         Rule::U3,
         Rule::O1,
         Rule::E1,
+        Rule::P1,
+        Rule::P2,
+        Rule::P3,
+        Rule::P4,
+        Rule::P5,
         Rule::S1,
     ];
 
@@ -148,11 +165,16 @@ impl Rule {
             Rule::U3 => "U3",
             Rule::O1 => "O1",
             Rule::E1 => "E1",
+            Rule::P1 => "P1",
+            Rule::P2 => "P2",
+            Rule::P3 => "P3",
+            Rule::P4 => "P4",
+            Rule::P5 => "P5",
             Rule::S1 => "S1",
         }
     }
 
-    /// The rule family letter (`'D'`, `'U'`, `'O'`, `'E'`, `'S'`).
+    /// The rule family letter (`'D'`, `'U'`, `'O'`, `'E'`, `'P'`, `'S'`).
     pub fn family(self) -> char {
         self.id().chars().next().expect("rule ids are non-empty")
     }
@@ -209,9 +231,178 @@ impl Rule {
                 "a wildcard _ arm over a workspace protocol enum silently swallows \
                  newly added variants; enumerate the variants explicitly"
             }
+            Rule::P1 => {
+                "mutable statics and interior-mutability cells reachable from engine \
+                 hot paths become cross-thread shared state under the parallel engine; \
+                 thread the state through &mut instead"
+            }
+            Rule::P2 => {
+                "HashMap/HashSet iteration order feeds event scheduling or metrics \
+                 aggregation (possibly through call chains); shard merging then \
+                 depends on hasher state — use BTreeMap/BTreeSet or sort first"
+            }
+            Rule::P3 => {
+                "DetRng stream discipline violated across call chains: a subsystem \
+                 draws from another subsystem's stream or seeds a private generator, \
+                 so per-shard replay diverges; use the named *_STREAM constants"
+            }
+            Rule::P4 => {
+                "an event heap keyed by bare time has no pop order for equal \
+                 timestamps; the parallel merge needs a (time, seq) key with a \
+                 monotonic sequence number"
+            }
+            Rule::P5 => {
+                "float accumulation whose operand order depends on map iteration \
+                 rounds differently per run; sort the operands or accumulate in \
+                 integers"
+            }
             Rule::S1 => {
                 "a simlint: allow(...) comment that no longer suppresses anything is \
                  dead weight and hides future findings; delete it"
+            }
+        }
+    }
+
+    /// Long-form explanation for `--explain RULE`: what the rule catches,
+    /// why it matters for the deterministic parallel engine, and how to fix
+    /// findings.
+    pub fn doc(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "D1 — default-hasher containers in sim crates.\n\n\
+                 std's HashMap/HashSet seed their hasher from process entropy \
+                 (RandomState), so iteration order differs between runs even with a \
+                 fixed sim seed. Any logic that observes that order is silently \
+                 nondeterministic.\n\n\
+                 Fix: use BTreeMap/BTreeSet, or a HashMap with an explicitly seeded \
+                 hasher if O(log n) is too slow."
+            }
+            Rule::D2 => {
+                "D2 — wall-clock reads outside bench.\n\n\
+                 Instant::now()/SystemTime::now() tie sim behavior to host timing. \
+                 Simulated time must come only from the event clock.\n\n\
+                 Fix: pass the sim clock in; only the bench crate may time things."
+            }
+            Rule::D3 => {
+                "D3 — ambient randomness.\n\n\
+                 thread_rng, rand::random, getrandom and RandomState draw from \
+                 process entropy, breaking seeded reproducibility.\n\n\
+                 Fix: draw from dcsim::DetRng, seeded from the scenario config."
+            }
+            Rule::D4 => {
+                "D4 — lossy float→integer casts on unit quantities.\n\n\
+                 `as u64` on a float-valued time/byte expression truncates, and the \
+                 result can differ across platforms when the float computation does.\n\n\
+                 Fix: route conversions through the audited units.rs helpers, or \
+                 carry a justified allow with a reason."
+            }
+            Rule::D5 => {
+                "D5 — unwrap/empty expect in sim crates.\n\n\
+                 .unwrap() hides which invariant was violated when it fires.\n\n\
+                 Fix: return a typed error, or .expect(\"why this cannot fail\")."
+            }
+            Rule::D6 => {
+                "D6 — fault randomness off the dedicated stream.\n\n\
+                 Fault injection must draw all randomness from FAULT_STREAM \
+                 (netsim::fault) so that enabling faults does not perturb the \
+                 workload/ECMP/RED draw sequences (the zero-cost-when-off \
+                 contract).\n\n\
+                 Fix: derive the fault RNG via rng.stream(FAULT_STREAM); never seed \
+                 a private DetRng in fault code."
+            }
+            Rule::U1 => {
+                "U1 — unit-mixing arithmetic.\n\n\
+                 Adding Nanos to Bytes, or a unit newtype to a raw integer, bypasses \
+                 the type discipline the newtypes exist for.\n\n\
+                 Fix: convert explicitly via named constructors or .as_u64() at an \
+                 audited boundary."
+            }
+            Rule::U2 => {
+                "U2 — `.0` escapes of unit newtypes.\n\n\
+                 Tuple-field access turns a typed quantity into an anonymous u64 with \
+                 no searchable marker.\n\n\
+                 Fix: call .as_u64(); the auto-fix rewrites `.0` mechanically."
+            }
+            Rule::U3 => {
+                "U3 — raw-literal unit construction.\n\n\
+                 `Nanos(80)` does not say 80 of what scale. Named constructors do.\n\n\
+                 Fix: Nanos::from_ns/from_us/.., Bytes::new, BitRate::from_gbps, or \
+                 a named constant."
+            }
+            Rule::O1 => {
+                "O1 — unchecked u64 arithmetic in hot paths.\n\n\
+                 dcsim/netsim hot paths multiply byte counts by rates; silent \
+                 wraparound corrupts schedules rather than crashing.\n\n\
+                 Fix: saturating_*/checked_*, or an allow naming the bound that \
+                 makes overflow impossible."
+            }
+            Rule::E1 => {
+                "E1 — wildcard arms over workspace protocol enums.\n\n\
+                 `_` arms compile on, silently mishandling variants added later to \
+                 workspace-owned enums (events, scheduler kinds, CC algorithms).\n\n\
+                 Fix: enumerate the variants; the compiler then flags new ones."
+            }
+            Rule::P1 => {
+                "P1 — shared mutable state reachable from engine hot paths.\n\n\
+                 The planned parallel engine runs shards on worker threads. A \
+                 `static mut`, a static Cell/RefCell/Mutex/atomic, or thread_local! \
+                 state referenced from the run/step call graph either races or \
+                 (under locks/atomics) makes results depend on thread interleaving \
+                 — both break bit-identical replay.\n\n\
+                 Findings carry a witness call chain from a hot root (run/step) to \
+                 the referencing function.\n\n\
+                 Fix: thread the state through &mut self / function parameters so \
+                 each shard owns its copy; merge explicitly at barriers."
+            }
+            Rule::P2 => {
+                "P2 — order-unstable iteration feeding scheduling or metrics.\n\n\
+                 Iterating a HashMap/HashSet and scheduling events (or folding \
+                 metrics) in that order makes the event timeline depend on hasher \
+                 state. The interprocedural pass also catches chains: a helper \
+                 returns values gathered in hash order and the caller schedules \
+                 from them.\n\n\
+                 Fix: switch the container to BTreeMap/BTreeSet (the auto-fix \
+                 rewrites annotated local declarations) or sort before consuming. \
+                 Sorting anywhere on the chain clears the taint."
+            }
+            Rule::P3 => {
+                "P3 — DetRng stream discipline across call chains.\n\n\
+                 Each subsystem owns one stream: 0 workload, 1 ECMP, 2 RED, \
+                 3 feedback, 4 faults. A subsystem-marked function (or anything it \
+                 calls) constructing DetRng::new(seed) or calling .stream(n) with \
+                 the wrong n couples draw sequences between subsystems, so shards \
+                 replay differently when one subsystem's draw count changes.\n\n\
+                 D6 already polices fault code lexically; P3 generalizes the \
+                 discipline to every subsystem, interprocedurally. Functions that \
+                 legitimately distribute streams (naming a *_STREAM constant or \
+                 fanning out two or more streams) are exempt.\n\n\
+                 Fix: accept a DetRng handle from the caller, and name streams via \
+                 the dcsim::rng *_STREAM constants instead of raw numbers."
+            }
+            Rule::P4 => {
+                "P4 — event heaps keyed by bare time.\n\n\
+                 BinaryHeap<Nanos> (or (Nanos, payload) with a non-integer second \
+                 element) has no defined pop order for equal timestamps. The \
+                 parallel engine merges per-shard queues by (time, seq); a heap \
+                 without the seq slot cannot take part.\n\n\
+                 Fix: key by (Nanos, u64, ..) with a monotonic sequence counter — \
+                 dcsim::EventQueue is the reference implementation. The auto-fix \
+                 inserts the u64 slot into annotated declarations."
+            }
+            Rule::P5 => {
+                "P5 — order-sensitive float accumulation.\n\n\
+                 Float addition is not associative; `sum += x` (or .fold(0.0, ..)) \
+                 over a HashMap iteration — directly or via a helper that gathers \
+                 in hash order — yields run-dependent low bits that compound in \
+                 fairness metrics.\n\n\
+                 Fix: iterate a BTree container, sort operands first, or accumulate \
+                 in integer units (Nanos/Bytes) and convert once at the end."
+            }
+            Rule::S1 => {
+                "S1 — stale allows.\n\n\
+                 A `simlint: allow(RULE)` comment whose rule no longer fires on \
+                 that line suppresses nothing today and a real finding tomorrow.\n\n\
+                 Fix: delete it; the auto-fix does so mechanically."
             }
         }
     }
@@ -516,7 +707,7 @@ fn has_ident(code: &str, word: &str) -> bool {
 }
 
 /// Byte offset of the first standalone occurrence of identifier `word`.
-fn find_ident(code: &str, word: &str) -> Option<usize> {
+pub(crate) fn find_ident(code: &str, word: &str) -> Option<usize> {
     let bytes = code.as_bytes();
     let mut from = 0;
     while let Some(pos) = code[from..].find(word) {
@@ -837,6 +1028,21 @@ fn v1_scan_lines(display_path: &str, lines: &[StrippedLine]) -> Vec<Finding> {
             );
         }
 
+        // P1 (lexical prong): `thread_local!` state in sim code — the
+        // declaration is a macro invocation the v2 parser skips, so it is
+        // caught here; statics go through the semantic pass.
+        if scope == Scope::Sim && has_ident(code, "thread_local") {
+            push(
+                k,
+                Rule::P1,
+                "thread_local! state gives every engine worker thread its own copy; \
+                 under the parallel engine results then depend on which thread ran \
+                 which shard — thread the state through &mut instead"
+                    .into(),
+                sup,
+            );
+        }
+
         // D5: undocumented panics in sim code.
         if scope == Scope::Sim {
             if has_method_call(code, "unwrap") {
@@ -979,13 +1185,36 @@ pub fn analyze_files(files: &[(String, String)]) -> Analysis {
     let ast_files: Vec<&ast::File> = parsed.iter().flatten().map(|(f, _)| f).collect();
     let symbols = sym::Symbols::build(ast_files.iter().copied());
 
-    let mut findings = Vec::new();
+    // Per-file pass: v1 line rules plus v2 semantic rules, collecting the
+    // call-graph facts the interprocedural pass consumes.
+    let mut raws: Vec<Vec<Finding>> = Vec::with_capacity(files.len());
+    let mut facts: Vec<callgraph::FileFacts> = Vec::new();
     for ((path, src), parsed) in files.iter().zip(&parsed) {
         let lines = strip_source(src);
         let mut raw = v1_scan_lines(path, &lines);
+        if let Some((file, _)) = parsed {
+            let (sem_findings, file_facts) = sem::check_file_collect(file, src, &symbols);
+            raw.extend(sem_findings);
+            facts.push(file_facts);
+        }
+        raws.push(raw);
+    }
+
+    // Interprocedural pass: workspace call graph + P-family flow rules.
+    // Runs before suppression so P findings can be allowed and S1
+    // staleness accounts for them.
+    let graph = callgraph::CallGraph::build(facts);
+    for f in flow::check(&graph) {
+        if let Some(i) = files.iter().position(|(p, _)| p == &f.path) {
+            raws[i].push(f);
+        }
+    }
+
+    // Suppression + S1 staleness, per file.
+    let mut findings = Vec::new();
+    for (((path, src), parsed), mut raw) in files.iter().zip(&parsed).zip(raws) {
         match parsed {
-            Some((file, lexed)) => {
-                raw.extend(sem::check_file(file, src, &symbols));
+            Some((_, lexed)) => {
                 let mut allows = allows_from_lexed(lexed);
                 raw.retain(|f| {
                     let mut keep = true;
@@ -1021,7 +1250,7 @@ pub fn analyze_files(files: &[(String, String)]) -> Analysis {
             None => {
                 // Parser could not process the file: fall back to the v1
                 // suppression semantics and skip the S1 staleness check.
-                let suppressed = v1_suppression_map(&lines);
+                let suppressed = v1_suppression_map(&strip_source(src));
                 raw.retain(|f| {
                     !suppressed
                         .get(f.line - 1)

@@ -26,7 +26,8 @@ options:
                    (e.g. `--rules U,O` or `--rules D3,E1`; default: all)
   --emit FORMAT    output format: text (default), json, or sarif
   --fix            apply mechanical fixes in place, then report what remains
-  --explain        print the rule table and exit
+  --explain [RULE] print the rule table and exit; with a rule id (e.g.
+                   `--explain P2`), print that rule's full rationale
   -h, --help       print this help and exit
 
 exit codes:
@@ -73,6 +74,18 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--explain" => {
+                // Optional rule-id operand: `--explain P2` prints the full
+                // rationale for one rule; bare `--explain` prints the table.
+                if let Some(next) = args.next() {
+                    let Some(r) = Rule::parse(&next) else {
+                        return usage_error(&format!(
+                            "unknown rule `{next}` for --explain (try `--explain` \
+                             for the full table)"
+                        ));
+                    };
+                    println!("{}", r.doc());
+                    return ExitCode::SUCCESS;
+                }
                 for r in Rule::ALL {
                     println!("{}: {}", r.id(), r.summary());
                 }

@@ -435,8 +435,10 @@ impl<'a> Parser<'a> {
                 out.push(Item::Trait { name, items });
             }
             Some("const") | Some("static") if saw_const => {
+                let is_static = self.is_kw("static");
+                let line = self.line_here();
                 self.pos += 1;
-                self.eat_kw("mut");
+                let is_mut = self.eat_kw("mut");
                 let name = self.bump_ident().unwrap_or_default();
                 let ty = if self.eat_op(":") {
                     self.parse_type()
@@ -449,7 +451,14 @@ impl<'a> Parser<'a> {
                     None
                 };
                 self.eat_op(";");
-                out.push(Item::Const { name, ty, init });
+                out.push(Item::Const {
+                    name,
+                    ty,
+                    init,
+                    is_static,
+                    is_mut,
+                    line,
+                });
             }
             Some("type") => {
                 self.pos += 1;
@@ -648,6 +657,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_fn(&mut self, cfg_test: bool) -> FnItem {
+        let line = self.line_here();
         let name = self.bump_ident().unwrap_or_default();
         self.skip_generics();
         let mut self_param = None;
@@ -709,6 +719,7 @@ impl<'a> Parser<'a> {
             ret,
             body,
             cfg_test,
+            line,
         }
     }
 

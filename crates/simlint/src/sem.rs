@@ -10,11 +10,47 @@
 //! the walker cannot prove degrades to `Ty::Unknown`, which no rule
 //! matches, so incomplete inference produces silence, never noise.
 
-use crate::ast::{Arm, BinOp, Block, Expr, ExprKind, File, FnItem, Item, Lit, Pat, Stmt};
+use crate::ast::{Arm, BinOp, Block, Expr, ExprKind, File, FnItem, Item, Lit, Pat, Stmt, TypeRef};
+use crate::callgraph::{
+    CallRef, FileFacts, FloatAccum, FnFacts, FnKey, StaticItem, StreamArg, UnstableIter,
+};
 use crate::infer::{elem_of, method_ret, named_of, Env, Ty};
 use crate::lex::Span;
 use crate::sym::{Symbols, UnitKind};
-use crate::{scope_of, Finding, Fix, Rule, Scope};
+use crate::{find_ident, scope_of, Finding, Fix, Rule, Scope};
+
+/// Iteration methods whose visit order follows the container's.
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+/// Methods that canonicalize an ordering and clear instability taint.
+const SORT_METHODS: [&str; 6] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// Method names that schedule events regardless of receiver type.
+const SCHED_METHODS: [&str; 4] = ["schedule", "schedule_at", "schedule_in", "push_at"];
+
+/// Metrics-registry sink methods.
+const METRIC_METHODS: [&str; 5] = [
+    "counter_add",
+    "counter_set",
+    "histogram_record",
+    "histogram_record_f64",
+    "absorb",
+];
 
 /// Byte-offset → (line, col) mapping for one source file.
 #[derive(Debug)]
@@ -46,6 +82,12 @@ impl LineIndex {
 
 /// Run the U/O/E checkers over one parsed file.
 pub fn check_file(file: &File, src: &str, sym: &Symbols) -> Vec<Finding> {
+    check_file_collect(file, src, sym).0
+}
+
+/// Run the semantic checkers and, in the same walk, collect the
+/// per-function facts the interprocedural pass consumes.
+pub fn check_file_collect(file: &File, src: &str, sym: &Symbols) -> (Vec<Finding>, FileFacts) {
     let norm = file.path.replace('\\', "/");
     let file_name = norm.rsplit('/').next().unwrap_or("").to_string();
     let mut chk = Checker {
@@ -64,10 +106,21 @@ pub fn check_file(file: &File, src: &str, sym: &Symbols) -> Vec<Finding> {
             || norm.starts_with("examples/")
             || norm.contains("/benches/"),
         o1_zone: norm.contains("dcsim/") || norm.contains("netsim/"),
+        facts: FileFacts::default(),
+        fn_stack: Vec::new(),
+        loop_stack: Vec::new(),
+        hash_decls: Vec::new(),
     };
     chk.bind_consts(&file.items);
     chk.walk_items(&file.items, None, false);
-    chk.findings
+    (chk.findings, chk.facts)
+}
+
+/// Loop context for P5: is the iteration head order-unstable, and which
+/// calls does it make?
+struct LoopFrame {
+    head_unstable: bool,
+    head_calls: Vec<usize>,
 }
 
 struct Checker<'a> {
@@ -82,6 +135,13 @@ struct Checker<'a> {
     unit_def_file: bool,
     test_path: bool,
     o1_zone: bool,
+    facts: FileFacts,
+    /// Indices into `facts.fns` of the enclosing (possibly nested) fns.
+    fn_stack: Vec<usize>,
+    loop_stack: Vec<LoopFrame>,
+    /// Local `let` declarations with hash-container annotations:
+    /// `(binding, decl line, container name)` — the P2 fix target.
+    hash_decls: Vec<(String, usize, &'static str)>,
 }
 
 impl<'a> Checker<'a> {
@@ -111,6 +171,11 @@ impl<'a> Checker<'a> {
     /// E1 applies in sim code outside tests.
     fn e1_on(&self) -> bool {
         self.sim && !self.in_test
+    }
+
+    /// The local P-rule (P4) applies in sim code outside tests/examples.
+    fn p_on(&self) -> bool {
+        self.sim && !self.in_test && !self.test_path
     }
 
     // ----- helpers --------------------------------------------------------
@@ -187,12 +252,39 @@ impl<'a> Checker<'a> {
                 Item::Mod {
                     cfg_test, items, ..
                 } => self.walk_items(items, None, in_test || *cfg_test),
-                Item::Trait { items, .. } => self.walk_items(items, None, in_test),
-                Item::Const { init: Some(e), .. } => {
-                    let saved = self.in_test;
-                    self.in_test = in_test;
-                    self.expr_ty(e);
-                    self.in_test = saved;
+                Item::Trait { name, items } => {
+                    // Default trait methods are owned by the trait, so
+                    // dispatch through the trait name resolves to them.
+                    let ty = Ty::Named {
+                        name: name.clone(),
+                        args: Vec::new(),
+                    };
+                    self.walk_items(items, Some(&ty), in_test);
+                }
+                Item::Const {
+                    name,
+                    ty,
+                    init,
+                    is_static,
+                    is_mut,
+                    line,
+                } => {
+                    if *is_static {
+                        self.facts.statics.push(StaticItem {
+                            name: name.clone(),
+                            path: self.path.clone(),
+                            line: *line,
+                            is_mut: *is_mut,
+                            interior: type_has_interior_mutability(ty),
+                            is_test: in_test || self.test_path,
+                        });
+                    }
+                    if let Some(e) = init {
+                        let saved = self.in_test;
+                        self.in_test = in_test;
+                        self.expr_ty(e);
+                        self.in_test = saved;
+                    }
                 }
                 _ => {}
             }
@@ -200,7 +292,21 @@ impl<'a> Checker<'a> {
     }
 
     fn walk_fn(&mut self, f: &FnItem, self_ty: Option<&Ty>, in_test: bool) {
+        let owner = self_ty.and_then(named_of).map(|s| s.to_string());
+        let fact_idx = self.facts.fns.len();
+        self.facts.fns.push(FnFacts {
+            key: FnKey {
+                owner,
+                name: f.name.clone(),
+            },
+            path: self.path.clone(),
+            line: f.line,
+            is_test: in_test || f.cfg_test || self.test_path,
+            ..FnFacts::default()
+        });
         let Some(body) = &f.body else { return };
+        self.fn_stack.push(fact_idx);
+        let decl_mark = self.hash_decls.len();
         let saved = self.in_test;
         self.in_test = in_test || f.cfg_test;
         self.env.push();
@@ -216,6 +322,300 @@ impl<'a> Checker<'a> {
         self.block_ty(body);
         self.env.pop();
         self.in_test = saved;
+        self.hash_decls.truncate(decl_mark);
+        self.fn_stack.pop();
+    }
+
+    // ----- interprocedural fact recording ---------------------------------
+
+    /// The facts record of the innermost enclosing function, if any.
+    fn fact(&mut self) -> Option<&mut FnFacts> {
+        let &i = self.fn_stack.last()?;
+        self.facts.fns.get_mut(i)
+    }
+
+    /// Current lengths of the fact vectors the loop/fold hooks diff.
+    fn fact_marks(&mut self) -> (usize, usize) {
+        match self.fact() {
+            Some(f) => (f.unstable_iters.len(), f.calls.len()),
+            None => (0, 0),
+        }
+    }
+
+    /// The simple binding name an iteration receiver refers to, looking
+    /// through `&`/parens.
+    fn binding_of(e: &Expr) -> Option<&str> {
+        match &e.kind {
+            ExprKind::Path(segs) if segs.len() == 1 => Some(&segs[0]),
+            ExprKind::Unary(inner) | ExprKind::Paren(inner) => Self::binding_of(inner),
+            _ => None,
+        }
+    }
+
+    /// Build the mechanical container-swap fix for an iteration over a
+    /// local whose annotated `let` declares a hash container.
+    fn hash_swap_fix(&self, binding: Option<&str>) -> Option<Fix> {
+        let name = binding?;
+        let &(_, line, container) = self.hash_decls.iter().rev().find(|(n, _, _)| n == name)?;
+        let lo = *self.index.starts.get(line.saturating_sub(1))?;
+        let hi = self
+            .index
+            .starts
+            .get(line)
+            .map(|n| n.saturating_sub(1))
+            .unwrap_or(self.src.len());
+        let text = self.src.get(lo..hi)?;
+        let replacement_for = |c: &str| match c {
+            "HashMap" => "BTreeMap",
+            _ => "BTreeSet",
+        };
+        let mut out = String::with_capacity(text.len() + 8);
+        let mut rest = text;
+        let mut changed = false;
+        while let Some(at) = find_ident(rest, container) {
+            out.push_str(&rest[..at]);
+            out.push_str(replacement_for(container));
+            rest = &rest[at + container.len()..];
+            changed = true;
+        }
+        out.push_str(rest);
+        changed.then_some(Fix {
+            span: Span { lo, hi },
+            replacement: out,
+        })
+    }
+
+    /// Record an order-unstable iteration site.
+    fn note_unstable_iter(&mut self, container: &'static str, recv: Option<&Expr>, e: &Expr) {
+        let fix = self.hash_swap_fix(recv.and_then(Self::binding_of));
+        let site = UnstableIter {
+            line: e.line,
+            span: e.span,
+            container,
+            fix,
+        };
+        if let Some(f) = self.fact() {
+            f.unstable_iters.push(site);
+        }
+    }
+
+    /// Record everything the interprocedural pass wants to know about a
+    /// method call, and run the local P4 check.
+    fn note_method_call(
+        &mut self,
+        recv: &Expr,
+        name: &str,
+        args: &[Expr],
+        rt: &Ty,
+        ats: &[Ty],
+        e: &Expr,
+    ) {
+        let owner = named_of(rt).map(|s| s.to_string());
+        let call = CallRef {
+            owner,
+            name: name.to_string(),
+            via_method: true,
+            line: e.line,
+            span: e.span,
+        };
+        if let Some(f) = self.fact() {
+            f.calls.push(call);
+        }
+
+        if name == "stream" && args.len() == 1 {
+            let arg = match &args[0].kind {
+                ExprKind::Lit(l @ Lit::Int(_)) => l
+                    .int_value()
+                    .map(StreamArg::Num)
+                    .unwrap_or(StreamArg::Other),
+                ExprKind::Path(segs) => match segs.last() {
+                    Some(last) if is_screaming_case(last) => StreamArg::Named(last.clone()),
+                    _ => StreamArg::Other,
+                },
+                _ => StreamArg::Other,
+            };
+            let line = e.line;
+            let span = e.span;
+            if let Some(f) = self.fact() {
+                f.stream_calls.push((arg, line, span));
+            }
+        }
+
+        let recv_name = named_of(rt);
+        if ITER_METHODS.contains(&name) {
+            if let Some(container @ ("HashMap" | "HashSet")) = recv_name {
+                let container: &'static str = if container == "HashMap" {
+                    "HashMap"
+                } else {
+                    "HashSet"
+                };
+                self.note_unstable_iter(container, Some(recv), e);
+            }
+        }
+
+        if SORT_METHODS.contains(&name) {
+            if let Some(f) = self.fact() {
+                f.sorts = true;
+            }
+        }
+
+        let is_sched = SCHED_METHODS.contains(&name)
+            || (name == "push"
+                && (matches!(recv_name, Some("EventQueue" | "TimingWheel"))
+                    || matches!(ats.first(), Some(Ty::Unit(UnitKind::Nanos)))));
+        if is_sched {
+            let line = e.line;
+            let span = e.span;
+            if let Some(f) = self.fact() {
+                f.sched_sinks.push((line, span));
+            }
+        }
+
+        let is_metric = METRIC_METHODS.contains(&name)
+            || (name == "record" && matches!(recv_name, Some("LogHistogram" | "MetricsRegistry")));
+        if is_metric {
+            let line = e.line;
+            let span = e.span;
+            if let Some(f) = self.fact() {
+                f.metric_sinks.push((line, span));
+            }
+        }
+
+        // P4: pushing a bare-time key (or a `(time, payload)` pair with no
+        // integer tiebreak) into a BinaryHeap — equal timestamps then pop
+        // in arbitrary order.
+        if self.p_on() && name == "push" && recv_name == Some("BinaryHeap") {
+            if let Some(first) = ats.first() {
+                if let Some(msg) = p4_key_problem(first) {
+                    self.push(
+                        Rule::P4,
+                        e.span,
+                        format!(
+                            "{msg}; equal timestamps then pop in arbitrary order — key \
+                             the heap by `(time, seq)` with a monotonic sequence number \
+                             (see dcsim::EventQueue)"
+                        ),
+                        None,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Record free / qualified-path calls (`helper(..)`, `DetRng::new(..)`)
+    /// as call edges and RNG-construction sites.
+    fn note_path_call(&mut self, callee: &Expr, e: &Expr) {
+        let ExprKind::Path(segs) = &callee.kind else {
+            return;
+        };
+        let Some(last) = segs.last() else { return };
+        // Uppercase heads are constructors / enum variants, not functions.
+        if !last
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_')
+        {
+            return;
+        }
+        let owner = (segs.len() >= 2).then(|| segs[segs.len() - 2].clone());
+        let is_rng_new = owner.as_deref() == Some("DetRng") && last == "new";
+        let call = CallRef {
+            owner,
+            name: last.clone(),
+            via_method: false,
+            line: e.line,
+            span: e.span,
+        };
+        if let Some(f) = self.fact() {
+            if is_rng_new {
+                f.rng_news.push((call.line, call.span));
+            }
+            f.calls.push(call);
+        }
+    }
+
+    /// P4 on the declaration side (`let q: BinaryHeap<Nanos> = ..`) plus
+    /// bookkeeping of hash-container `let`s for the P2 container-swap fix.
+    fn check_let_annotation(&mut self, pat: &Pat, ann: &TypeRef, init: Option<&Expr>) {
+        let TypeRef::Path { segs, args } = ann else {
+            return;
+        };
+        let Some(last) = segs.last().map(|s| s.as_str()) else {
+            return;
+        };
+
+        if matches!(last, "HashMap" | "HashSet") {
+            if let (Pat::Path(psegs), Some(init)) = (pat, init) {
+                if psegs.len() == 1 {
+                    let container: &'static str = if last == "HashMap" {
+                        "HashMap"
+                    } else {
+                        "HashSet"
+                    };
+                    self.hash_decls
+                        .push((psegs[0].clone(), init.line, container));
+                }
+            }
+        }
+
+        if !self.p_on() || last != "BinaryHeap" {
+            return;
+        }
+        let Some(key) = args.first().map(Ty::from_typeref) else {
+            return;
+        };
+        let (msg, fixable) = match &key {
+            Ty::Unit(UnitKind::Nanos) => (
+                "BinaryHeap keyed by bare Nanos has no pop order for equal timestamps",
+                false,
+            ),
+            Ty::Tuple(ts)
+                if matches!(ts.first(), Some(Ty::Unit(UnitKind::Nanos)))
+                    && ts.len() >= 2
+                    && !matches!(ts.get(1), Some(Ty::Int { .. })) =>
+            {
+                (
+                    "BinaryHeap keyed by `(Nanos, payload)` breaks ties by comparing \
+                     payloads, not by arrival order",
+                    true,
+                )
+            }
+            _ => return,
+        };
+        // Mechanical fix: widen the key to `(Nanos, u64, ..)` so callers get
+        // a slot for a monotonic sequence number.
+        let fix = fixable
+            .then(|| {
+                let line = init.map(|i| i.line)?;
+                let lo = *self.index.starts.get(line.saturating_sub(1))?;
+                let hi = self
+                    .index
+                    .starts
+                    .get(line)
+                    .map(|n| n.saturating_sub(1))
+                    .unwrap_or(self.src.len());
+                let text = self.src.get(lo..hi)?;
+                let at = text.find("(Nanos,")?;
+                let insert_at = lo + at + "(Nanos,".len();
+                Some(Fix {
+                    span: Span {
+                        lo: insert_at,
+                        hi: insert_at,
+                    },
+                    replacement: " u64,".to_string(),
+                })
+            })
+            .flatten();
+        let span = init.map(|i| i.span).unwrap_or(Span { lo: 0, hi: 0 });
+        self.push(
+            Rule::P4,
+            span,
+            format!(
+                "{msg}; key the heap by `(time, seq)` with a monotonic sequence \
+                 number (see dcsim::EventQueue)"
+            ),
+            fix,
+        );
     }
 
     // ----- bindings -------------------------------------------------------
@@ -288,6 +688,9 @@ impl<'a> Checker<'a> {
             match stmt {
                 Stmt::Let { pat, ty, init } => {
                     let ity = init.as_ref().map(|e| self.expr_ty(e));
+                    if let Some(ann) = ty {
+                        self.check_let_annotation(pat, ann, init.as_ref());
+                    }
                     let t = ty
                         .as_ref()
                         .map(Ty::from_typeref)
@@ -313,7 +716,18 @@ impl<'a> Checker<'a> {
                 Lit::Bool(_) => Ty::Bool,
                 _ => Ty::Unknown,
             },
-            ExprKind::Path(segs) => self.path_ty(segs),
+            ExprKind::Path(segs) => {
+                if let Some(last) = segs.last() {
+                    if is_screaming_case(last) {
+                        let name = last.clone();
+                        let line = e.line;
+                        if let Some(f) = self.fact() {
+                            f.caps_refs.push((name, line));
+                        }
+                    }
+                }
+                self.path_ty(segs)
+            }
             ExprKind::Unary(inner) => self.expr_ty(inner),
             ExprKind::Binary { op, lhs, rhs } => {
                 let lt = self.expr_ty(lhs);
@@ -337,13 +751,50 @@ impl<'a> Checker<'a> {
                 let rt = self.expr_ty(rhs);
                 if let Some(op) = op {
                     self.arith_check(*op, Some(lhs), lhs, rhs, &lt, &rt, e.span);
+                    // `sum += x` on a float inside a loop is a reduction whose
+                    // result depends on iteration order (P5 raw material).
+                    if matches!(op, BinOp::Add) && matches!(lt, Ty::Float) {
+                        if let Some(frame) = self.loop_stack.last() {
+                            let accum = FloatAccum {
+                                line: e.line,
+                                span: e.span,
+                                head_unstable: frame.head_unstable,
+                                head_calls: frame.head_calls.clone(),
+                            };
+                            if let Some(f) = self.fact() {
+                                f.float_accums.push(accum);
+                            }
+                        }
+                    }
                 }
                 Ty::Unknown
             }
-            ExprKind::Call { callee, args } => self.call_ty(callee, args, e),
+            ExprKind::Call { callee, args } => {
+                self.note_path_call(callee, e);
+                self.call_ty(callee, args, e)
+            }
             ExprKind::MethodCall { recv, name, args } => {
+                let (iters_before, calls_before) = self.fact_marks();
                 let rt = self.expr_ty(recv);
+                let (iters_after, calls_after) = self.fact_marks();
                 let ats: Vec<Ty> = args.iter().map(|a| self.expr_ty(a)).collect();
+                self.note_method_call(recv, name, args, &rt, &ats, e);
+                // `.fold(0.0, ..)` over an order-unstable chain is a float
+                // reduction in disguise (P5).
+                if name == "fold"
+                    && args.len() == 2
+                    && matches!(&args[0].kind, ExprKind::Lit(Lit::Float))
+                {
+                    let accum = FloatAccum {
+                        line: e.line,
+                        span: e.span,
+                        head_unstable: iters_after > iters_before,
+                        head_calls: (calls_before..calls_after).collect(),
+                    };
+                    if let Some(f) = self.fact() {
+                        f.float_accums.push(accum);
+                    }
+                }
                 method_ret(self.sym, &rt, name, &ats)
             }
             ExprKind::Field {
@@ -395,7 +846,25 @@ impl<'a> Checker<'a> {
                 Ty::Unknown
             }
             ExprKind::Loop { pat, head, body } => {
+                let (iters_before, calls_before) = self.fact_marks();
                 let ht = head.as_ref().map(|h| self.expr_ty(h));
+                // `for (k, v) in &map` iterates without an explicit `.iter()`
+                // call; classify the head from its type.
+                if let (Some(h), Some(Ty::Named { name, .. })) = (head.as_deref(), &ht) {
+                    let container = match name.as_str() {
+                        "HashMap" => Some("HashMap"),
+                        "HashSet" => Some("HashSet"),
+                        _ => None,
+                    };
+                    if let Some(c) = container {
+                        self.note_unstable_iter(c, Some(h), h);
+                    }
+                }
+                let (iters_after, calls_after) = self.fact_marks();
+                self.loop_stack.push(LoopFrame {
+                    head_unstable: iters_after > iters_before,
+                    head_calls: (calls_before..calls_after).collect(),
+                });
                 self.env.push();
                 if let (Some(p), Some(h)) = (pat, &ht) {
                     let elem = elem_of(h);
@@ -403,6 +872,7 @@ impl<'a> Checker<'a> {
                 }
                 self.block_ty(body);
                 self.env.pop();
+                self.loop_stack.pop();
                 Ty::Unknown
             }
             ExprKind::Closure { params, body } => {
@@ -893,6 +1363,51 @@ impl<'a> Checker<'a> {
             Pat::Or(ps) | Pat::Tuple(ps) => ps.iter().find_map(|p| self.variant_enum(p)),
             _ => None,
         }
+    }
+}
+
+// ----- free helpers for fact collection -----------------------------------
+
+/// `SCREAMING_SNAKE_CASE` identifier: a likely named constant.
+pub(crate) fn is_screaming_case(s: &str) -> bool {
+    s.len() > 1
+        && s.bytes()
+            .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_')
+        && s.bytes().any(|b| b.is_ascii_uppercase())
+}
+
+/// Whether a type mentions an interior-mutability cell (or an atomic)
+/// anywhere in its structure.
+pub(crate) fn type_has_interior_mutability(ty: &TypeRef) -> bool {
+    match ty {
+        TypeRef::Path { segs, args } => {
+            segs.last().is_some_and(|s| {
+                crate::flow::INTERIOR_CELLS.contains(&s.as_str()) || s.starts_with("Atomic")
+            }) || args.iter().any(type_has_interior_mutability)
+        }
+        TypeRef::Ref(inner) => type_has_interior_mutability(inner),
+        TypeRef::Tuple(ts) => ts.iter().any(type_has_interior_mutability),
+        _ => false,
+    }
+}
+
+/// Why a heap key type breaks deterministic tie-breaking, if it does.
+fn p4_key_problem(ty: &Ty) -> Option<&'static str> {
+    match ty {
+        Ty::Unit(UnitKind::Nanos) => {
+            Some("BinaryHeap keyed by bare Nanos has no pop order for equal timestamps")
+        }
+        Ty::Tuple(ts)
+            if matches!(ts.first(), Some(Ty::Unit(UnitKind::Nanos)))
+                && ts.len() >= 2
+                && !matches!(ts.get(1), Some(Ty::Int { .. })) =>
+        {
+            Some(
+                "BinaryHeap entry `(Nanos, payload)` breaks timestamp ties by comparing \
+                 payloads, not by arrival order",
+            )
+        }
+        _ => None,
     }
 }
 

@@ -222,12 +222,133 @@ fn autofix_converges_and_is_idempotent() {
 }
 
 #[test]
+fn p1_fixture_fires_on_both_statics_and_thread_local() {
+    let got = v2_findings("bad_p1_shared_static.rs");
+    assert!(got.iter().all(|f| f.rule == Rule::P1), "{got:?}");
+    let lines: Vec<usize> = got.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![8, 10, 12], "{got:?}"); // static mut, atomic, thread_local!
+                                                   // The hot-path-reachable static carries a witness call chain.
+    assert!(
+        got[1]
+            .message
+            .contains("run (bad_p1_shared_static.rs:16) → bump"),
+        "witness chain rendered: {}",
+        got[1].message
+    );
+}
+
+#[test]
+fn p2_fixture_fires_locally_and_through_the_call_chain() {
+    let got = v2_findings("bad_p2_unstable_iter.rs");
+    let p2: Vec<_> = got.iter().filter(|f| f.rule == Rule::P2).collect();
+    assert_eq!(p2.len(), 2, "{got:?}");
+    // Interprocedural: schedule_ready consumes gather_ready's hash-ordered
+    // results; reported at the call site, no mechanical fix.
+    assert_eq!(p2[0].line, 19);
+    assert!(
+        p2[0].message.contains("chain: gather_ready"),
+        "{}",
+        p2[0].message
+    );
+    assert!(p2[0].fix.is_none());
+    // Local: report's own iteration, with the BTreeMap container swap.
+    assert_eq!(p2[1].line, 27);
+    let fix = p2[1]
+        .fix
+        .as_ref()
+        .expect("local P2 offers the container swap");
+    assert!(fix.replacement.contains("BTreeMap") && !fix.replacement.contains("HashMap"));
+}
+
+#[test]
+fn p3_fixture_fires_on_every_discipline_breach() {
+    let got = v2_findings("bad_p3_stream_context.rs");
+    assert!(got.iter().all(|f| f.rule == Rule::P3), "{got:?}");
+    let lines: Vec<usize> = got.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![13, 18, 22, 26], "{got:?}");
+    // Private DetRng::new two hops below RED-marked code, caught via chain.
+    assert!(got[0].message.contains("red_mark") && got[0].message.contains("DetRng::new"));
+    // ECMP code borrowing RED's stream by number.
+    assert!(got[1].message.contains("ECMP") && got[1].message.contains("RED"));
+    // Raw stream number where the named constant exists.
+    assert!(got[2].message.contains("ECMP_STREAM"));
+    // Named constant of the wrong subsystem.
+    assert!(got[3].message.contains("RED_STREAM"));
+}
+
+#[test]
+fn p4_fixture_fires_on_declarations_and_push_sites() {
+    let got = v2_findings("bad_p4_time_key.rs");
+    assert!(got.iter().all(|f| f.rule == Rule::P4), "{got:?}");
+    let lines: Vec<usize> = got.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![8, 13, 17, 18], "{got:?}");
+    // Only the tuple-keyed declaration has a mechanical fix: insert the
+    // u64 tiebreak slot.
+    let fix = got[2]
+        .fix
+        .as_ref()
+        .expect("tuple-keyed declaration is fixable");
+    assert_eq!(fix.replacement, " u64,");
+    assert!(got[0].fix.is_none() && got[1].fix.is_none() && got[3].fix.is_none());
+}
+
+#[test]
+fn p5_fixture_fires_locally_and_through_the_call_chain() {
+    let got = v2_findings("bad_p5_float_reduction.rs");
+    let p5: Vec<_> = got.iter().filter(|f| f.rule == Rule::P5).collect();
+    assert_eq!(p5.len(), 2, "{got:?}");
+    assert_eq!(p5[0].line, 11, "direct HashMap sum attributed");
+    assert_eq!(p5[1].line, 27, "reduction over tainted producer attributed");
+    assert!(
+        p5[1].message.contains("chain: gather_samples"),
+        "{}",
+        p5[1].message
+    );
+}
+
+#[test]
+fn p_rule_autofixes_converge_and_are_idempotent() {
+    let mut files = vec![
+        fixture("dcsim/units.rs"),
+        fixture("bad_p2_unstable_iter.rs"),
+        fixture("bad_p4_time_key.rs"),
+    ];
+    let applied = fix_source_set(&mut files);
+    assert!(applied >= 2, "P2 swap + P4 slot insertion: {applied}");
+    let p2_src = &files[1].1;
+    assert!(
+        p2_src.contains("let mut seen: BTreeMap<u64, u64> = BTreeMap::new();"),
+        "container swapped on the declaration: {p2_src}"
+    );
+    let p4_src = &files[2].1;
+    assert!(
+        p4_src.contains("BinaryHeap<(Nanos, u64, FlowId)> = BinaryHeap::new()"),
+        "tiebreak slot inserted: {p4_src}"
+    );
+
+    let after = analyze_files(&files);
+    assert!(
+        after.findings.iter().all(|f| f.fix.is_none()),
+        "fixable findings survived --fix: {:?}",
+        after.findings
+    );
+
+    let snapshot = files.clone();
+    assert_eq!(
+        fix_source_set(&mut files),
+        0,
+        "second --fix pass must change nothing"
+    );
+    assert_eq!(files, snapshot);
+}
+
+#[test]
 fn scanning_the_fixture_tree_reports_every_bad_file() {
     // Pointing the walker directly at fixtures/ (as CI does to prove the
     // nonzero exit path) must reproduce all of the above findings.
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
     let (findings, scanned) = scan_tree(&root).expect("fixtures dir scans");
-    assert_eq!(scanned, 17, "all fixture files scanned");
+    assert_eq!(scanned, 22, "all fixture files scanned");
     let bad_files: std::collections::BTreeSet<&str> =
         findings.iter().map(|f| f.path.as_str()).collect();
     assert_eq!(
@@ -240,6 +361,11 @@ fn scanning_the_fixture_tree_reports_every_bad_file() {
             "bad_d5_unwrap.rs",
             "bad_d6_fault_rng.rs",
             "bad_e1_wildcard.rs",
+            "bad_p1_shared_static.rs",
+            "bad_p2_unstable_iter.rs",
+            "bad_p3_stream_context.rs",
+            "bad_p4_time_key.rs",
+            "bad_p5_float_reduction.rs",
             "bad_s1_stale_allow.rs",
             "bad_u1_mixed_arith.rs",
             "bad_u2_newtype_escape.rs",
@@ -247,28 +373,4 @@ fn scanning_the_fixture_tree_reports_every_bad_file() {
             "dcsim/bad_o1_overflow.rs",
         ]
     );
-}
-
-#[test]
-fn simlint_scans_its_own_source_cleanly() {
-    // The scanner's own crate (pattern strings, fixture literals in tests)
-    // must not self-flag: rule tokens live inside string literals, which
-    // the lexer strips before matching. Paths are re-prefixed with the
-    // crate's workspace location so rule scoping sees the files exactly
-    // as the workspace scan does (the analyzer's own tolerant wildcard
-    // matches are Support-scope, where E1 deliberately does not apply).
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let files: Vec<(String, String)> = simlint::read_tree(root)
-        .expect("crate scans")
-        .into_iter()
-        .map(|(path, src)| (format!("crates/simlint/{path}"), src))
-        .collect();
-    assert!(files.len() >= 3, "lib, main, tests scanned");
-    let analysis = analyze_files(&files);
-    assert!(
-        analysis.parse_failures.is_empty(),
-        "{:?}",
-        analysis.parse_failures
-    );
-    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
 }
