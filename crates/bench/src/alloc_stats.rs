@@ -1,0 +1,73 @@
+//! Allocation accounting for the perf baseline.
+//!
+//! Built with `--features alloc-stats`, the `perfbase` binary installs
+//! [`CountingAlloc`] as the global allocator and samples [`snapshot`]
+//! around each measured pass, turning the engine's allocation traffic
+//! into two per-workload columns of `BENCH_engine.json`:
+//! `allocs_per_event` and `bytes_per_event`. After the slab-pool sweep
+//! these sit near zero on the packet path — the columns exist so a
+//! change that quietly reintroduces per-event heap traffic shows up in
+//! the committed baseline diff even when wall time hides it.
+//!
+//! Without the feature every function is a free-standing no-op stub, the
+//! global allocator stays `std`'s, and the JSON columns are omitted
+//! (`alloc_instrumented: false` says so).
+//!
+//! The counters are relaxed atomics: perfbase measurement passes are
+//! single-threaded, so relaxed ordering costs nothing and never loses a
+//! count; cross-thread interleaving (the fleet harness) would only relax
+//! attribution, not totals.
+
+/// Whether allocation accounting is compiled in.
+pub const ENABLED: bool = cfg!(feature = "alloc-stats");
+
+#[cfg(feature = "alloc-stats")]
+mod imp {
+    // The one unsafe impl in the workspace: `GlobalAlloc` is an unsafe
+    // trait by definition. The impl adds nothing but counter bumps around
+    // delegation to `System`, preserving `System`'s safety contract.
+    #![allow(unsafe_code)]
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// A `System` wrapper that counts allocation calls and bytes.
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // A growth realloc is fresh traffic for the grown portion —
+            // exactly the `Vec` doubling the A1 lint hunts.
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(new_size.saturating_sub(layout.size()) as u64, Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Cumulative `(allocations, bytes)` since process start.
+    pub fn snapshot() -> (u64, u64) {
+        (ALLOCS.load(Relaxed), BYTES.load(Relaxed))
+    }
+}
+
+#[cfg(feature = "alloc-stats")]
+pub use imp::{snapshot, CountingAlloc};
+
+/// Stub: accounting compiled out, counters frozen at zero.
+#[cfg(not(feature = "alloc-stats"))]
+pub fn snapshot() -> (u64, u64) {
+    (0, 0)
+}

@@ -14,7 +14,11 @@
 //! `--features trace` the incast/fat-tree entries also report the
 //! scheduler occupancy high-water mark (`occupancy_hwm`), and the report
 //! carries `trace_instrumented: true` so regression tooling knows the
-//! numbers include the instrumented build's overhead. Usage:
+//! numbers include the instrumented build's overhead. With
+//! `--features alloc-stats` a counting global allocator adds
+//! `allocs_per_event` and `bytes_per_event` per cell (and
+//! `alloc_instrumented: true` at the top level) — the memory-pressure
+//! companion to the events/sec gate. Usage:
 //!
 //! ```text
 //! perfbase [--out PATH] [--seed N] [--check BASELINE]
@@ -27,11 +31,16 @@
 
 use std::time::Instant;
 
+use bench::alloc_stats;
 use dcsim::{DetRng, EventQueue, Nanos, Scheduler, SchedulerKind, TimingWheel};
 use fairsim::{
     CcSpec, DatacenterScenario, IncastScenario, ProtocolKind, RunCtx, Scenario, Variant,
 };
 use minijson::{obj, Value};
+
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static COUNTING_ALLOC: alloc_stats::CountingAlloc = alloc_stats::CountingAlloc;
 
 /// Timers alive at once in the dense-timer workload.
 const DENSE_LIVE: u32 = 30_000;
@@ -41,6 +50,11 @@ const DENSE_CHURN: u64 = 2_000_000;
 struct Measurement {
     secs: f64,
     events: u64,
+    /// Global-allocator calls during the best pass (0 without the
+    /// `alloc-stats` feature).
+    allocs: u64,
+    /// Bytes requested from the global allocator during the best pass.
+    bytes: u64,
 }
 
 impl Measurement {
@@ -49,24 +63,48 @@ impl Measurement {
     }
 
     fn to_value(&self) -> Value {
-        obj([
+        let mut fields = vec![
             ("secs", Value::from(self.secs)),
             ("events", Value::from(self.events)),
             ("events_per_sec", Value::from(self.events_per_sec().round())),
-        ])
+        ];
+        if alloc_stats::ENABLED {
+            // Per-event ratios, rounded to 3 decimals: after the slab-pool
+            // sweep these sit well below 1 and the interesting signal is
+            // "did a change add per-event heap traffic", not noise digits.
+            let per = |n: u64| ((n as f64 / self.events as f64) * 1000.0).round() / 1000.0;
+            fields.push(("allocs_per_event", Value::from(per(self.allocs))));
+            fields.push(("bytes_per_event", Value::from(per(self.bytes))));
+        }
+        obj(fields)
     }
 }
 
 /// Best-of-`passes` wall time for `f`, which reports its event count.
+/// Allocation counts are taken from the fastest pass, keeping the two
+/// columns describing the same execution.
 fn measure(passes: usize, mut f: impl FnMut() -> u64) -> Measurement {
     let mut events = f(); // warmup
     let mut best = f64::INFINITY;
+    let (mut allocs, mut bytes) = (0u64, 0u64);
     for _ in 0..passes {
+        let (a0, b0) = alloc_stats::snapshot();
         let t0 = Instant::now();
         events = f();
-        best = best.min(t0.elapsed().as_secs_f64());
+        let dt = t0.elapsed().as_secs_f64();
+        let (a1, b1) = alloc_stats::snapshot();
+        if dt < best {
+            best = dt;
+            allocs = a1 - a0;
+            bytes = b1 - b0;
+        }
     }
-    Measurement { secs: best, events }
+    Measurement {
+        secs: best,
+        events,
+        allocs,
+        bytes,
+    }
 }
 
 /// Steady-state timer churn: every pop schedules a replacement a short
@@ -286,6 +324,7 @@ fn main() {
             ("schema", Value::from("BENCH_engine/v1")),
             ("seed", Value::from(seed)),
             ("trace_instrumented", Value::from(simtrace::ENABLED)),
+            ("alloc_instrumented", Value::from(alloc_stats::ENABLED)),
             ("dense_live_timers", Value::from(u64::from(DENSE_LIVE))),
             ("workloads", Value::Arr(entries)),
         ]);

@@ -9,6 +9,8 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_stats;
+
 use dcsim::Nanos;
 use fairsim::render::{f3, fmt_size, TextTable};
 use fairsim::scenarios::LONG_FLOW_BYTES;

@@ -97,6 +97,11 @@ impl Monitor {
 
     /// Record a flow completion.
     pub fn record_fct(&mut self, rec: FctRecord) {
+        if self.fcts.len() == self.fcts.capacity() {
+            // Completions arrive between events; grow in large steps so
+            // steady-state recording never reallocates mid-run.
+            self.fcts.reserve(1024);
+        }
         self.fcts.push(rec);
     }
 
@@ -104,7 +109,17 @@ impl Monitor {
     /// `cfg.watch_ports`.
     pub fn take_sample(&mut self, now: Nanos, queue_bytes: Vec<u64>, flows: &[Flow]) {
         let dt = now.saturating_sub(self.last_sample_at).as_secs_f64();
-        let mut flow_rates = Vec::new();
+        let want = if self.cfg.track_flow_rates {
+            flows.len()
+        } else {
+            0
+        };
+        let mut flow_rates = Vec::with_capacity(want);
+        if self.samples.len() == self.samples.capacity() {
+            // Same amortization as `record_fct`: sampling runs on the
+            // event loop, so growth must happen in rare large steps.
+            self.samples.reserve(256);
+        }
         if self.cfg.track_flow_rates {
             self.last_acked.resize(flows.len(), 0);
             for f in flows {

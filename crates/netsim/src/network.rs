@@ -9,7 +9,7 @@ use crate::fault::{FaultPlan, FaultStats, LossState, RtoBackoff, FAULT_STREAM};
 use crate::flow::{Flow, FlowSpec};
 use crate::ids::{FlowId, NodeId, PortNo};
 use crate::monitor::{FctRecord, Monitor, MonitorConfig};
-use crate::packet::{Packet, PacketKind, PacketPool};
+use crate::packet::{PacketHandle, PacketKind, PacketPool};
 use crate::pfc::PfcConfig;
 use crate::port::{Port, RedConfig};
 use crate::routing::{filter_adjacency, Adjacency, RoutingTable};
@@ -104,8 +104,10 @@ pub enum Event {
     Arrive {
         /// Receiving node.
         node: NodeId,
-        /// The packet.
-        pkt: Box<Packet>,
+        /// Handle to the packet in the network's slab pool — 8 inline
+        /// bytes, so moving this event never chases (or frees) a heap
+        /// pointer.
+        pkt: PacketHandle,
     },
     /// A congestion-control timer fired for a flow.
     CcTimer(FlowId),
@@ -446,6 +448,10 @@ impl Network {
         reg.counter_set("net.dropped_data_packets", self.dropped_data);
         reg.counter_set("net.flows", self.flows.len() as u64);
         reg.counter_set("net.flows_finished", self.monitor.fcts.len() as u64);
+        let (pool_slots, pool_recycled) = self.pool.stats();
+        reg.counter_set("net.pool.slots", pool_slots);
+        reg.counter_set("net.pool.recycled", pool_recycled);
+        reg.counter_set("net.pool.live_hwm", self.pool.live_hwm());
         if self.faults_active {
             reg.counter_set("net.fault.wire_drops", self.fault_stats.wire_drops);
             reg.counter_set(
@@ -454,9 +460,13 @@ impl Network {
             );
             reg.counter_set("net.fault.reroutes", self.fault_stats.reroutes);
             reg.counter_set("net.fault.rto_fires", self.fault_stats.rto_fires);
+            let mut key = String::with_capacity(32);
             for f in &self.flows {
                 if f.rto_count > 0 {
-                    reg.counter_set(&format!("flow.{}.rto_count", f.id.0), f.rto_count);
+                    key.clear();
+                    use std::fmt::Write as _;
+                    let _ = write!(key, "flow.{}.rto_count", f.id.0);
+                    reg.counter_set(&key, f.rto_count);
                 }
             }
         }
@@ -490,7 +500,9 @@ impl Network {
         // Walk the pinned path — over the pristine (no-faults) routes:
         // the slowdown denominator must not move when links flap.
         let routes = self.routes_full.as_ref().unwrap_or(&self.routes);
-        let mut path: Vec<(dcsim::BitRate, Nanos)> = Vec::new();
+        // Fabric diameter is tiny (leaf-spine paths are <= 4 hops), so one
+        // exact-size reservation covers every topology we build.
+        let mut path: Vec<(dcsim::BitRate, Nanos)> = Vec::with_capacity(8);
         let mut cur = src;
         while cur != dst {
             let port = routes.pick(cur, dst, id);
@@ -552,7 +564,8 @@ impl Network {
             };
             // Phase 2: build and enqueue the packet.
             let (id, src, dst, seq, sz) = action;
-            let mut pkt = self.pool.get();
+            let h = self.pool.alloc();
+            let pkt = self.pool.get_mut(h);
             pkt.kind = PacketKind::Data;
             pkt.flow = id;
             pkt.src = src;
@@ -561,7 +574,7 @@ impl Network {
             pkt.wire_size = sz;
             pkt.payload = sz;
             pkt.sent_at = now;
-            self.enqueue_at(src, PortNo(0), pkt, now, q);
+            self.enqueue_at(src, PortNo(0), h, now, q);
         }
         self.arm_cc_timer(fi, now, q);
         if self.cfg.switch_buffer.is_some() || self.faults_active {
@@ -632,18 +645,21 @@ impl Network {
         &mut self,
         node: NodeId,
         port: PortNo,
-        pkt: Box<Packet>,
+        pkt: PacketHandle,
         now: Nanos,
         q: &mut impl Scheduler<Event>,
     ) {
         let pfc = self.cfg.pfc;
         let trace_port = self.tracer.wants(Subsystem::Port);
-        let (tr_flow, tr_bytes) = (pkt.flow, pkt.wire_size);
+        let (tr_flow, tr_bytes) = {
+            let p = self.pool.get(pkt);
+            (p.flow, p.wire_size)
+        };
         let n = &mut self.nodes[node.idx()];
         let is_switch = n.kind == NodeKind::Switch;
         let p = &mut n.ports[port.idx()];
         let marked_before = p.ecn_marked();
-        let start = match p.enqueue(pkt, &mut self.red_rng) {
+        let start = match p.enqueue(pkt, &mut self.pool, &mut self.red_rng) {
             Ok(start) => start,
             Err(dropped) => {
                 // Tail drop (or a dead link): the flow recovers via
@@ -663,7 +679,7 @@ impl Network {
                         bytes: tr_bytes,
                     },
                 );
-                self.pool.put(dropped);
+                self.pool.free(dropped);
                 return;
             }
         };
@@ -710,26 +726,31 @@ impl Network {
 
     fn start_tx(&mut self, node: NodeId, port: PortNo, now: Nanos, q: &mut impl Scheduler<Event>) {
         let pfc = self.cfg.pfc;
+        let trace_port = self.tracer.wants(Subsystem::Port);
         let mut release = false;
-        let (pkt, ser, peer, prop, lost, bursty) = {
+        {
             let n = &mut self.nodes[node.idx()];
             let is_switch = n.kind == NodeKind::Switch;
             let p = &mut n.ports[port.idx()];
             if p.busy || p.is_paused() || !p.has_backlog() {
                 return;
             }
-            let (mut pkt, ser) = p.begin_tx().expect("backlog checked");
-            if pkt.kind == PacketKind::Data && p.stamp_int {
-                if is_switch {
-                    pkt.hops += 1;
+            let (pkt, ser) = p.begin_tx().expect("backlog checked");
+            let (flow, wire) = {
+                let fr = self.pool.get_mut(pkt);
+                if fr.kind == PacketKind::Data && p.stamp_int {
+                    if is_switch {
+                        fr.hops += 1;
+                    }
+                    fr.int.push(IntHop {
+                        qlen: Bytes(p.qbytes()),
+                        tx_bytes: p.tx_bytes(),
+                        ts: now,
+                        rate: p.rate,
+                    });
                 }
-                pkt.int.push(IntHop {
-                    qlen: Bytes(p.qbytes()),
-                    tx_bytes: p.tx_bytes(),
-                    ts: now,
-                    rate: p.rate,
-                });
-            }
+                (fr.flow, fr.wire_size)
+            };
             p.busy = true;
             // PFC: the over-XOFF regime ends when the queue drains below XON.
             if let Some(c) = pfc {
@@ -743,8 +764,8 @@ impl Network {
                 TraceEvent::PortDequeue {
                     node: node.0,
                     port: port.0,
-                    flow: pkt.flow.0,
-                    bytes: pkt.wire_size,
+                    flow: flow.0,
+                    bytes: wire,
                     qbytes: p.qbytes(),
                 },
             );
@@ -763,34 +784,71 @@ impl Network {
                     }
                 }
                 if !lost {
-                    pkt.via = Some((node, port));
+                    self.pool.get_mut(pkt).via = Some((node, port));
                 }
             }
-            (pkt, ser, p.peer, p.prop, lost, bursty)
-        };
+            if lost {
+                // The frame occupied the wire for its serialization time
+                // (the port stays busy until TxDone) but never arrives.
+                q.push(now + ser, Event::TxDone { node, port });
+                self.fault_stats.wire_drops += 1;
+                if self.tracer.wants(Subsystem::Fault) {
+                    self.tracer.record(
+                        now,
+                        TraceEvent::LossBurst {
+                            node: node.0,
+                            port: port.0,
+                            flow: flow.0,
+                            bytes: wire,
+                            bursty,
+                        },
+                    );
+                }
+                self.pool.free(pkt);
+            } else {
+                // Batched drain: a run of control frames behind the head
+                // (ACK/CNP/NACK bursts — a receiver NIC clocking an
+                // incast) needs no per-frame egress work: control frames
+                // take no INT stamp, and with PFC, faults, and port
+                // tracing off there is no per-frame observer either. Each
+                // frame still serializes at its exact wire time; only the
+                // intermediate TxDone wakeups are elided.
+                let batch = pfc.is_none() && !self.faults_active && !trace_port;
+                if batch && matches!(p.head_kind(), Some(k) if k != PacketKind::Data) {
+                    let mut t = now + ser;
+                    q.push(
+                        t + p.prop,
+                        Event::Arrive {
+                            node: p.peer.0,
+                            pkt,
+                        },
+                    );
+                    while matches!(p.head_kind(), Some(k) if k != PacketKind::Data) {
+                        let (h, ser2) = p.begin_tx().expect("head_kind checked");
+                        t += ser2;
+                        q.push(
+                            t + p.prop,
+                            Event::Arrive {
+                                node: p.peer.0,
+                                pkt: h,
+                            },
+                        );
+                    }
+                    q.push(t, Event::TxDone { node, port });
+                } else {
+                    q.push(now + ser, Event::TxDone { node, port });
+                    q.push(
+                        now + ser + p.prop,
+                        Event::Arrive {
+                            node: p.peer.0,
+                            pkt,
+                        },
+                    );
+                }
+            }
+        }
         if release {
             self.broadcast_pause(node, port, false, now, q);
-        }
-        q.push(now + ser, Event::TxDone { node, port });
-        if lost {
-            // The frame occupied the wire for its serialization time (the
-            // port stays busy until TxDone) but never arrives.
-            self.fault_stats.wire_drops += 1;
-            if self.tracer.wants(Subsystem::Fault) {
-                self.tracer.record(
-                    now,
-                    TraceEvent::LossBurst {
-                        node: node.0,
-                        port: port.0,
-                        flow: pkt.flow.0,
-                        bytes: pkt.wire_size,
-                        bursty,
-                    },
-                );
-            }
-            self.pool.put(pkt);
-        } else {
-            q.push(now + ser + prop, Event::Arrive { node: peer.0, pkt });
         }
     }
 
@@ -814,7 +872,7 @@ impl Network {
             let flushed = self.nodes[node.idx()].ports[port.idx()].take_down(now);
             let n_flushed = flushed.len() as u32;
             for pkt in flushed {
-                self.pool.put(pkt);
+                self.pool.free(pkt);
             }
             self.fault_stats.link_down_drops += n_flushed as u64;
             if trace {
@@ -904,18 +962,22 @@ impl Network {
     fn deliver_to_host(
         &mut self,
         node: NodeId,
-        mut pkt: Box<Packet>,
+        pkt: PacketHandle,
         now: Nanos,
         q: &mut impl Scheduler<Event>,
     ) {
-        debug_assert_eq!(
-            pkt.dst, node,
-            "packet for {:?} arrived at host {:?}: routing bug",
-            pkt.dst, node
-        );
-        match pkt.kind {
+        let (kind, flow, seq, payload, ecn) = {
+            let p = self.pool.get(pkt);
+            debug_assert_eq!(
+                p.dst, node,
+                "packet for {:?} arrived at host {:?}: routing bug",
+                p.dst, node
+            );
+            (p.kind, p.flow, p.seq, p.payload, p.ecn)
+        };
+        match kind {
             PacketKind::Data => {
-                let fi = pkt.flow.idx();
+                let fi = flow.idx();
                 // In lossless mode delivery is strictly in order; with
                 // finite buffers, gaps mean upstream drops and RoCE-style
                 // go-back-N applies: out-of-order packets are discarded
@@ -930,13 +992,13 @@ impl Network {
                 }
                 let action = {
                     let f = &mut self.flows[fi];
-                    if pkt.seq == f.rcv_next {
-                        f.rcv_next = pkt.seq + pkt.payload as u64;
+                    if seq == f.rcv_next {
+                        f.rcv_next = seq + payload as u64;
                         f.last_nack_for = None;
                         Rx::Accept {
-                            need_cnp: pkt.ecn && f.try_emit_cnp(now, self.cfg.cnp_interval),
+                            need_cnp: ecn && f.try_emit_cnp(now, self.cfg.cnp_interval),
                         }
-                    } else if pkt.seq > f.rcv_next {
+                    } else if seq > f.rcv_next {
                         debug_assert!(!lossless, "sequence gap in lossless mode");
                         if f.last_nack_for != Some(f.rcv_next) {
                             f.last_nack_for = Some(f.rcv_next);
@@ -964,55 +1026,65 @@ impl Network {
                     Rx::Accept { need_cnp } => {
                         if need_cnp {
                             let src = self.flows[fi].spec.src;
-                            let mut cnp = self.pool.get();
+                            let ch = self.pool.alloc();
+                            let cnp = self.pool.get_mut(ch);
                             cnp.kind = PacketKind::Cnp;
-                            cnp.flow = pkt.flow;
+                            cnp.flow = flow;
                             cnp.src = node;
                             cnp.dst = src;
                             cnp.wire_size = self.cfg.ack_wire_size;
-                            self.enqueue_at(node, PortNo(0), cnp, now, q);
+                            self.enqueue_at(node, PortNo(0), ch, now, q);
                         }
-                        pkt.into_ack(self.cfg.ack_wire_size);
-                        pkt.seq = self.flows[fi].rcv_next; // cumulative
+                        let cumulative = self.flows[fi].rcv_next;
+                        let p = self.pool.get_mut(pkt);
+                        p.into_ack(self.cfg.ack_wire_size);
+                        p.seq = cumulative;
                         self.enqueue_at(node, PortNo(0), pkt, now, q);
                     }
                     Rx::Nack { expected } => {
                         let src = self.flows[fi].spec.src;
-                        pkt.kind = PacketKind::Nack;
-                        pkt.src = node;
-                        pkt.dst = src;
-                        pkt.seq = expected;
-                        pkt.payload = 0;
-                        pkt.wire_size = self.cfg.ack_wire_size;
+                        let p = self.pool.get_mut(pkt);
+                        p.kind = PacketKind::Nack;
+                        p.src = node;
+                        p.dst = src;
+                        p.seq = expected;
+                        p.payload = 0;
+                        p.wire_size = self.cfg.ack_wire_size;
                         self.enqueue_at(node, PortNo(0), pkt, now, q);
                     }
                     Rx::AckDup => {
-                        pkt.into_ack(self.cfg.ack_wire_size);
-                        pkt.seq = self.flows[fi].rcv_next; // cumulative
+                        let cumulative = self.flows[fi].rcv_next;
+                        let p = self.pool.get_mut(pkt);
+                        p.into_ack(self.cfg.ack_wire_size);
+                        p.seq = cumulative;
                         self.enqueue_at(node, PortNo(0), pkt, now, q);
                     }
                     Rx::DiscardDup => {
-                        self.pool.put(pkt);
+                        self.pool.free(pkt);
                     }
                 }
             }
             PacketKind::Ack => {
-                let fi = pkt.flow.idx();
+                let fi = flow.idx();
+                let (sent_at, int, hops) = {
+                    let p = self.pool.get(pkt);
+                    (p.sent_at, p.int, p.hops)
+                };
                 let (done, rec) = {
                     let f = &mut self.flows[fi];
-                    let newly = pkt.seq.saturating_sub(f.acked);
-                    f.acked = f.acked.max(pkt.seq);
+                    let newly = seq.saturating_sub(f.acked);
+                    f.acked = f.acked.max(seq);
                     // An RTO rewind can pull `sent` below a cumulative ACK
                     // that was still in flight; those bytes are delivered,
                     // so the send cursor never needs to revisit them.
                     f.sent = f.sent.max(f.acked);
                     let fb = AckFeedback {
                         now,
-                        rtt: now.saturating_sub(pkt.sent_at),
-                        ecn: pkt.ecn,
-                        int: pkt.int,
+                        rtt: now.saturating_sub(sent_at),
+                        ecn,
+                        int,
                         acked: Bytes(newly),
-                        hops: pkt.hops,
+                        hops,
                     };
                     f.cc.on_ack(&fb);
                     f.acks_seen += 1;
@@ -1051,7 +1123,7 @@ impl Network {
                         )
                     }
                 };
-                self.pool.put(pkt);
+                self.pool.free(pkt);
                 if done {
                     self.tracer.record(
                         now,
@@ -1072,8 +1144,8 @@ impl Network {
             PacketKind::Nack => {
                 // Go-back-N: rewind the send cursor to the receiver's
                 // expected byte and retransmit from there.
-                let fi = pkt.flow.idx();
-                let expected = pkt.seq;
+                let fi = flow.idx();
+                let expected = seq;
                 {
                     let f = &mut self.flows[fi];
                     if f.finished.is_none() && expected < f.sent && expected >= f.acked {
@@ -1081,13 +1153,13 @@ impl Network {
                         f.last_progress = now;
                     }
                 }
-                self.pool.put(pkt);
+                self.pool.free(pkt);
                 self.try_send(fi, now, q);
             }
             PacketKind::Cnp => {
-                let fi = pkt.flow.idx();
+                let fi = flow.idx();
                 self.flows[fi].cc.on_cnp(now);
-                self.pool.put(pkt);
+                self.pool.free(pkt);
                 self.try_send(fi, now, q);
             }
         }
@@ -1120,39 +1192,50 @@ impl World for Network {
             }
             Event::Arrive { node, pkt } => {
                 if self.faults_active {
-                    if let Some((vn, vp)) = pkt.via {
+                    let via = self.pool.get(pkt).via;
+                    if let Some((vn, vp)) = via {
                         let p = &self.nodes[vn.idx()].ports[vp.idx()];
                         // A frame propagating on a link that was cut after
                         // it left (or is still down) never arrives.
                         if !p.link_up || p.last_down > now.saturating_sub(p.prop) {
                             self.fault_stats.link_down_drops += 1;
                             if self.tracer.wants(Subsystem::Fault) {
+                                let (flow, bytes) = {
+                                    let p = self.pool.get(pkt);
+                                    (p.flow.0, p.wire_size)
+                                };
                                 self.tracer.record(
                                     now,
                                     TraceEvent::PortDrop {
                                         node: vn.0,
                                         port: vp.0,
-                                        flow: pkt.flow.0,
-                                        bytes: pkt.wire_size,
+                                        flow,
+                                        bytes,
                                     },
                                 );
                             }
-                            self.pool.put(pkt);
+                            self.pool.free(pkt);
                             return;
                         }
                     }
                 }
                 match self.nodes[node.idx()].kind {
-                    NodeKind::Switch => match self.routes.try_pick(node, pkt.dst, pkt.flow) {
-                        Some(out) => self.enqueue_at(node, out, pkt, now, q),
-                        None => {
-                            // Partitioned by a link-down: no route left.
-                            // Drop; the sender's RTO (and a later link-up
-                            // reroute) recovers.
-                            self.fault_stats.link_down_drops += 1;
-                            self.pool.put(pkt);
+                    NodeKind::Switch => {
+                        let (dst, flow) = {
+                            let p = self.pool.get(pkt);
+                            (p.dst, p.flow)
+                        };
+                        match self.routes.try_pick(node, dst, flow) {
+                            Some(out) => self.enqueue_at(node, out, pkt, now, q),
+                            None => {
+                                // Partitioned by a link-down: no route left.
+                                // Drop; the sender's RTO (and a later link-up
+                                // reroute) recovers.
+                                self.fault_stats.link_down_drops += 1;
+                                self.pool.free(pkt);
+                            }
                         }
-                    },
+                    }
                     NodeKind::Host => self.deliver_to_host(node, pkt, now, q),
                 }
             }
@@ -1202,6 +1285,16 @@ mod tests {
     use super::*;
     use dcsim::{BitRate, Simulation};
     use faircc::{CcMode, SenderLimits};
+
+    #[test]
+    fn events_carry_no_heap_payload() {
+        // The schedulers shuffle events constantly (heap sift, wheel
+        // cascade); the packet rides as an 8-byte slab handle, so the
+        // whole enum must stay two words and `Copy`-movable without
+        // touching the allocator.
+        let size = std::mem::size_of::<Event>();
+        assert!(size <= 16, "Event grew to {size} bytes — boxed payload?");
+    }
 
     /// Fixed-rate congestion control for substrate tests.
     struct FixedRate(BitRate);

@@ -1,9 +1,17 @@
-//! Packets and the recycling pool.
+//! Packets and the generation-indexed slab pool.
 //!
-//! Packets are the hottest allocation in the simulator, so they are boxed
-//! once and recycled through a free list: a data packet's box is reused for
-//! its ACK at the receiver, and ACK boxes return to the pool when consumed
-//! at the sender.
+//! Packets are the hottest allocation in the simulator. Instead of boxing
+//! each one and circulating the boxes through the event queue, all packets
+//! live in one contiguous slab owned by the pool; the event queue carries
+//! copyable [`PacketHandle`]s (index + generation). Events shrink from a
+//! heap pointer to 8 inline bytes, the per-packet `Box::new` disappears
+//! from the hot path entirely, and packet storage becomes cache-dense.
+//!
+//! Generations make handle misuse detectable: freeing a slot bumps its
+//! generation, so a stale handle (or a double free) no longer matches.
+//! Under `sim-audit` a mismatch panics at the offending call; in release
+//! builds a double free is ignored (never corrupting the free list) and
+//! stale accesses are caught by `debug_assert`.
 
 use dcsim::Nanos;
 use faircc::IntStack;
@@ -97,20 +105,44 @@ impl Packet {
     }
 }
 
-/// A free list of packet boxes.
+/// A copyable reference to a packet in a [`PacketPool`] slab.
 ///
-/// `get` hands out a recycled box when available (INT stack cleared, all
-/// fields overwritten by the caller via the returned `&mut`), `put` returns
-/// one. The pool never shrinks; its high-water mark equals the peak number
-/// of packets simultaneously in flight.
+/// The generation ties the handle to one lifetime of its slot: freeing the
+/// slot bumps the slot's generation, so every handle issued before the
+/// free stops matching. 8 bytes, `Copy` — cheap enough to sit inline in
+/// the event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketHandle {
+    idx: u32,
+    gen: u32,
+}
+
+/// One slab slot: the packet plus the generation of its current lifetime.
+#[derive(Debug)]
+struct Slot {
+    pkt: Packet,
+    gen: u32,
+}
+
+/// A generation-indexed slab of packets with a LIFO free list.
+///
+/// [`alloc`] hands out a handle to a blanked slot (recycling the most
+/// recently freed one when available), [`free`] returns a slot and bumps
+/// its generation. The slab never shrinks; its high-water mark equals the
+/// peak number of packets simultaneously in flight.
+///
+/// [`alloc`]: PacketPool::alloc
+/// [`free`]: PacketPool::free
 #[derive(Debug, Default)]
 pub struct PacketPool {
-    // Deliberately boxed: the same boxes circulate through the event
-    // queue, so the free list must hold allocations, not values.
-    #[allow(clippy::vec_box)]
-    free: Vec<Box<Packet>>,
-    allocated: u64,
+    slots: Vec<Slot>,
+    /// Indices of free slots, popped LIFO — the same reuse order as the
+    /// old boxed free list, so allocation patterns (and anything derived
+    /// from them) are unchanged.
+    free: Vec<u32>,
     recycled: u64,
+    /// Peak live-slot count ever observed (published to metrics).
+    live_hwm: usize,
 }
 
 impl PacketPool {
@@ -119,43 +151,106 @@ impl PacketPool {
         PacketPool::default()
     }
 
-    /// Acquire a packet box; fields are reset to blank.
-    pub fn get(&mut self) -> Box<Packet> {
-        match self.free.pop() {
-            Some(mut p) => {
+    /// Acquire a handle to a blank packet slot.
+    pub fn alloc(&mut self) -> PacketHandle {
+        let h = match self.free.pop() {
+            Some(idx) => {
                 self.recycled += 1;
-                *p = Packet::blank();
-                p
+                let slot = &mut self.slots[idx as usize];
+                slot.pkt = Packet::blank();
+                PacketHandle { idx, gen: slot.gen }
             }
             None => {
-                self.allocated += 1;
-                Box::new(Packet::blank())
+                let idx = self.slots.len() as u32;
+                if self.slots.len() == self.slots.capacity() {
+                    // The slab only grows while the live-packet high-water
+                    // mark is still rising; chunked reservation makes a
+                    // growing burst pay one reallocation, not one per packet.
+                    self.slots.reserve(256);
+                }
+                self.slots.push(Slot {
+                    pkt: Packet::blank(),
+                    gen: 0,
+                });
+                PacketHandle { idx, gen: 0 }
             }
+        };
+        self.live_hwm = self.live_hwm.max(self.live() as usize);
+        h
+    }
+
+    /// Return a slot to the pool, invalidating every outstanding handle
+    /// to it. A double free (or a stale handle) panics under `sim-audit`;
+    /// without the feature it is ignored, so the free list can never hold
+    /// the same slot twice.
+    pub fn free(&mut self, h: PacketHandle) {
+        let slot = &mut self.slots[h.idx as usize];
+        dcsim::audit_assert_eq!(
+            slot.gen,
+            h.gen,
+            "packet pool double free or stale handle on slot {}",
+            h.idx
+        );
+        if slot.gen != h.gen {
+            return;
         }
+        slot.gen = slot.gen.wrapping_add(1);
+        if self.free.len() == self.free.capacity() {
+            // The free list can hold at most one entry per slab slot, so
+            // this settles at the slab's own high-water capacity.
+            self.free.reserve(256);
+        }
+        self.free.push(h.idx);
     }
 
-    /// Return a packet box to the pool.
-    pub fn put(&mut self, p: Box<Packet>) {
-        self.free.push(p);
+    /// Read a live packet.
+    pub fn get(&self, h: PacketHandle) -> &Packet {
+        let slot = &self.slots[h.idx as usize];
+        dcsim::audit_assert_eq!(
+            slot.gen,
+            h.gen,
+            "stale packet handle read on slot {}",
+            h.idx
+        );
+        debug_assert_eq!(slot.gen, h.gen, "stale packet handle on slot {}", h.idx);
+        &slot.pkt
     }
 
-    /// (fresh allocations, recycled grabs) — instrumentation.
+    /// Mutate a live packet.
+    pub fn get_mut(&mut self, h: PacketHandle) -> &mut Packet {
+        let slot = &mut self.slots[h.idx as usize];
+        dcsim::audit_assert_eq!(
+            slot.gen,
+            h.gen,
+            "stale packet handle write on slot {}",
+            h.idx
+        );
+        debug_assert_eq!(slot.gen, h.gen, "stale packet handle on slot {}", h.idx);
+        &mut slot.pkt
+    }
+
+    /// (fresh slot allocations, recycled grabs) — instrumentation.
     pub fn stats(&self) -> (u64, u64) {
-        (self.allocated, self.recycled)
+        (self.slots.len() as u64, self.recycled)
     }
 
-    /// Boxes currently sitting in the free list.
+    /// Slots currently sitting in the free list.
     pub fn free_len(&self) -> usize {
         self.free.len()
     }
 
-    /// Boxes currently held by callers (in flight through the event queue).
+    /// Slots currently held by callers (in flight through the event queue).
     ///
-    /// Every live box was allocated exactly once and is not in the free
-    /// list, so `live = allocated − free_len` — the invariant the pool
-    /// unit tests pin down.
+    /// Every slot was created exactly once and is either free or live, so
+    /// `live = slots − free_len` — the invariant the pool unit tests pin
+    /// down.
     pub fn live(&self) -> u64 {
-        self.allocated - self.free.len() as u64
+        (self.slots.len() - self.free.len()) as u64
+    }
+
+    /// Peak simultaneous live-slot count — the slab's working-set size.
+    pub fn live_hwm(&self) -> u64 {
+        self.live_hwm as u64
     }
 }
 
@@ -195,14 +290,25 @@ mod tests {
     }
 
     #[test]
+    fn handles_are_copyable_and_small() {
+        // The whole point of the slab: an event payload that fits inline.
+        assert_eq!(std::mem::size_of::<PacketHandle>(), 8);
+        let mut pool = PacketPool::new();
+        let h = pool.alloc();
+        let h2 = h; // Copy, no move-out
+        assert_eq!(h, h2);
+        pool.free(h);
+    }
+
+    #[test]
     fn pool_recycles() {
         let mut pool = PacketPool::new();
-        let a = pool.get();
-        let b = pool.get();
-        pool.put(a);
-        pool.put(b);
-        let _c = pool.get();
-        let _d = pool.get();
+        let a = pool.alloc();
+        let b = pool.alloc();
+        pool.free(a);
+        pool.free(b);
+        let _c = pool.alloc();
+        let _d = pool.alloc();
         let (alloc, recyc) = pool.stats();
         assert_eq!(alloc, 2);
         assert_eq!(recyc, 2);
@@ -211,34 +317,37 @@ mod tests {
     #[test]
     fn recycled_packets_are_blank() {
         let mut pool = PacketPool::new();
-        let mut p = pool.get();
+        let h = pool.alloc();
+        let p = pool.get_mut(h);
         p.ecn = true;
         p.seq = 99;
         p.int.push(IntHop::default());
-        pool.put(p);
-        let q = pool.get();
+        pool.free(h);
+        let fresh = pool.alloc();
+        let q = pool.get(fresh);
         assert!(!q.ecn);
         assert_eq!(q.seq, 0);
         assert!(q.int.is_empty());
     }
 
     #[test]
-    fn get_after_put_recycles_and_moves_counters() {
+    fn alloc_after_free_recycles_and_moves_counters() {
         let mut pool = PacketPool::new();
-        let a = pool.get();
+        let a = pool.alloc();
         assert_eq!(pool.stats(), (1, 0));
-        pool.put(a);
+        pool.free(a);
         assert_eq!(pool.free_len(), 1);
-        let _b = pool.get();
-        // The box came from the free list, not a fresh allocation.
+        let _b = pool.alloc();
+        // The slot came from the free list, not a fresh slab grow.
         assert_eq!(pool.stats(), (1, 1));
         assert_eq!(pool.free_len(), 0);
     }
 
     #[test]
-    fn recycled_boxes_come_back_fully_blanked() {
+    fn recycled_slots_come_back_fully_blanked() {
         let mut pool = PacketPool::new();
-        let mut p = pool.get();
+        let h = pool.alloc();
+        let p = pool.get_mut(h);
         // Dirty every field.
         p.kind = PacketKind::Nack;
         p.flow = FlowId(7);
@@ -252,8 +361,9 @@ mod tests {
         p.hops = 9;
         p.via = Some((NodeId(3), PortNo(1)));
         p.int.push(IntHop::default());
-        pool.put(p);
-        let q = pool.get();
+        pool.free(h);
+        let fresh = pool.alloc();
+        let q = pool.get(fresh);
         assert_eq!(q.kind, PacketKind::Data);
         assert_eq!(q.flow, FlowId(0));
         assert_eq!(q.src, NodeId(0));
@@ -269,34 +379,57 @@ mod tests {
     }
 
     #[test]
-    fn live_count_tracks_a_simulated_burst() {
+    fn freeing_a_slot_invalidates_older_handles() {
+        let mut pool = PacketPool::new();
+        let a = pool.alloc();
+        pool.free(a);
+        let b = pool.alloc(); // recycles the same slot, new generation
+        assert_ne!(a, b);
+        // Without sim-audit the stale free is a no-op: the free list must
+        // not end up holding `b`'s slot while `b` is still live.
+        if !dcsim::audit::ENABLED {
+            pool.free(a);
+            assert_eq!(pool.free_len(), 0);
+            assert_eq!(pool.live(), 1);
+        }
+        pool.free(b);
+    }
+
+    #[test]
+    fn live_count_and_high_water_mark_track_a_simulated_burst() {
         // Simulate an incast-like burst: grab a wave of packets, return a
-        // ragged subset, grab again — at every point the number of boxes
-        // held by the "simulation" equals pool.live().
+        // ragged subset, grab again — at every point the number of slots
+        // held by the "simulation" equals pool.live(), and the high-water
+        // mark never decays.
         let mut pool = PacketPool::new();
         let mut in_flight = Vec::new();
+        let mut peak = 0u64;
         for round in 0..8 {
             for _ in 0..(16 + round * 3) {
-                in_flight.push(pool.get());
+                in_flight.push(pool.alloc());
                 assert_eq!(pool.live(), in_flight.len() as u64);
             }
+            peak = peak.max(pool.live());
+            assert_eq!(pool.live_hwm(), peak);
             // Deliver (return) roughly two-thirds of the wave.
             let keep = in_flight.len() / 3;
-            for p in in_flight.drain(keep..) {
-                pool.put(p);
+            for h in in_flight.drain(keep..) {
+                pool.free(h);
             }
             assert_eq!(pool.live(), in_flight.len() as u64);
         }
         let (alloc, recyc) = pool.stats();
         assert!(recyc > 0, "bursts after the first must recycle");
-        // allocated counts distinct boxes ever created; everything not in
+        // slots counts distinct slots ever created; everything not in
         // the free list is still held.
         assert_eq!(alloc, pool.live() + pool.free_len() as u64);
-        // Drain completely: nothing live, every box back in the pool.
-        for p in in_flight.drain(..) {
-            pool.put(p);
+        // Drain completely: nothing live, every slot back in the pool.
+        for h in in_flight.drain(..) {
+            pool.free(h);
         }
         assert_eq!(pool.live(), 0);
         assert_eq!(alloc, pool.free_len() as u64);
+        // The mark survives the drain: it records the peak working set.
+        assert_eq!(pool.live_hwm(), peak);
     }
 }

@@ -10,7 +10,7 @@ use dcsim::{BitRate, Bytes, DetRng, Nanos};
 
 use crate::fault::LossState;
 use crate::ids::{NodeId, PortNo};
-use crate::packet::Packet;
+use crate::packet::{PacketHandle, PacketKind, PacketPool};
 use crate::pfc::PauseCounter;
 
 /// RED (Random Early Detection) ECN-marking parameters, as used by DCQCN.
@@ -53,6 +53,16 @@ impl RedConfig {
     }
 }
 
+/// One queued frame: the pool handle plus the fields the port needs on
+/// the dequeue side, cached at enqueue so transmission accounting never
+/// touches the pool.
+#[derive(Debug, Clone, Copy)]
+struct QueuedFrame {
+    handle: PacketHandle,
+    wire_size: u32,
+    kind: PacketKind,
+}
+
 /// The transmit side of one link direction.
 #[derive(Debug)]
 pub struct Port {
@@ -87,7 +97,7 @@ pub struct Port {
     pub last_down: Nanos,
     /// Fault injection: wire loss channel for this direction, if any.
     pub loss: Option<LossState>,
-    queue: VecDeque<Box<Packet>>,
+    queue: VecDeque<QueuedFrame>,
     qbytes: u64,
     max_qbytes: u64,
     tx_bytes: u64,
@@ -203,41 +213,55 @@ impl Port {
     /// configured and tail-dropping data packets that exceed a finite
     /// buffer. Returns `Ok(true)` if the port was idle (the caller should
     /// start transmission), `Ok(false)` if queued behind others, and
-    /// `Err(packet)` if the packet was dropped (caller recycles the box).
+    /// `Err(handle)` if the packet was dropped (caller frees the slot).
     pub fn enqueue(
         &mut self,
-        mut pkt: Box<Packet>,
+        h: PacketHandle,
+        pool: &mut PacketPool,
         red_rng: &mut DetRng,
-    ) -> Result<bool, Box<Packet>> {
-        self.enq_bytes += pkt.wire_size as u64;
+    ) -> Result<bool, PacketHandle> {
+        let (wire_size, kind) = {
+            let pkt = pool.get(h);
+            (pkt.wire_size, pkt.kind)
+        };
+        self.enq_bytes += wire_size as u64;
         self.enq_packets += 1;
         if !self.link_up {
             // A downed wire loses everything, control frames included.
             self.dropped_packets += 1;
-            self.dropped_bytes += pkt.wire_size as u64;
+            self.dropped_bytes += wire_size as u64;
             self.audit_conservation();
-            return Err(pkt);
+            return Err(h);
         }
-        if pkt.kind == crate::packet::PacketKind::Data {
+        if kind == PacketKind::Data {
             if let Some(limit) = self.buffer_limit {
-                if self.qbytes + pkt.wire_size as u64 > limit {
+                if self.qbytes + wire_size as u64 > limit {
                     self.dropped_packets += 1;
-                    self.dropped_bytes += pkt.wire_size as u64;
+                    self.dropped_bytes += wire_size as u64;
                     self.audit_conservation();
-                    return Err(pkt);
+                    return Err(h);
                 }
             }
             if let Some(red) = self.red {
                 let p = red.mark_probability(Bytes(self.qbytes));
                 if p > 0.0 && red_rng.chance(p) {
-                    pkt.ecn = true;
+                    pool.get_mut(h).ecn = true;
                     self.ecn_marked += 1;
                 }
             }
         }
-        self.qbytes += pkt.wire_size as u64;
+        self.qbytes += wire_size as u64;
         self.max_qbytes = self.max_qbytes.max(self.qbytes);
-        self.queue.push_back(pkt);
+        if self.queue.len() == self.queue.capacity() {
+            // Queue depth is bounded by the buffer limit; grow toward that
+            // bound in chunks so a filling queue reallocates rarely.
+            self.queue.reserve(32);
+        }
+        self.queue.push_back(QueuedFrame {
+            handle: h,
+            wire_size,
+            kind,
+        });
         self.audit_conservation();
         Ok(!self.busy && !self.is_paused())
     }
@@ -273,15 +297,23 @@ impl Port {
     }
 
     /// Remove the head-of-line packet and account for its transmission.
-    /// Returns the packet and its serialization delay.
-    pub fn begin_tx(&mut self) -> Option<(Box<Packet>, Nanos)> {
-        let pkt = self.queue.pop_front()?;
-        self.qbytes -= pkt.wire_size as u64;
-        self.tx_bytes += pkt.wire_size as u64;
+    /// Returns the packet's handle and its serialization delay (computed
+    /// from the wire size cached at enqueue — no pool access needed).
+    pub fn begin_tx(&mut self) -> Option<(PacketHandle, Nanos)> {
+        let frame = self.queue.pop_front()?;
+        self.qbytes -= frame.wire_size as u64;
+        self.tx_bytes += frame.wire_size as u64;
         self.tx_packets += 1;
         self.audit_conservation();
-        let delay = self.ser_delay(pkt.wire_size);
-        Some((pkt, delay))
+        let delay = self.ser_delay(frame.wire_size);
+        Some((frame.handle, delay))
+    }
+
+    /// The kind of the head-of-line frame, if any (the batched-drain path
+    /// uses this to stop at frames that need per-frame egress work).
+    #[inline]
+    pub fn head_kind(&self) -> Option<PacketKind> {
+        self.queue.front().map(|f| f.kind)
     }
 
     /// Picosecond-exact serialization delay with residue carrying, so that
@@ -303,16 +335,16 @@ impl Port {
     /// Fault injection: take this link direction down at `now`, flushing
     /// the queue into the drop counters (the byte-conservation ledger
     /// treats flushed frames exactly like tail drops). Returns the
-    /// flushed boxes for the caller to recycle.
-    pub fn take_down(&mut self, now: Nanos) -> Vec<Box<Packet>> {
+    /// flushed handles for the caller to free.
+    pub fn take_down(&mut self, now: Nanos) -> Vec<PacketHandle> {
         self.link_up = false;
         self.last_down = now;
         let mut flushed = Vec::with_capacity(self.queue.len());
-        while let Some(pkt) = self.queue.pop_front() {
-            self.qbytes -= pkt.wire_size as u64;
+        while let Some(frame) = self.queue.pop_front() {
+            self.qbytes -= frame.wire_size as u64;
             self.dropped_packets += 1;
-            self.dropped_bytes += pkt.wire_size as u64;
-            flushed.push(pkt);
+            self.dropped_bytes += frame.wire_size as u64;
+            flushed.push(frame.handle);
         }
         self.audit_conservation();
         flushed
@@ -368,15 +400,23 @@ impl Port {
 mod tests {
     use super::*;
     use crate::ids::FlowId;
-    use crate::packet::{PacketKind, PacketPool};
 
-    fn data_pkt(pool: &mut PacketPool, size: u32) -> Box<Packet> {
-        let mut p = pool.get();
+    fn data_pkt(pool: &mut PacketPool, size: u32) -> PacketHandle {
+        let h = pool.alloc();
+        let p = pool.get_mut(h);
         p.kind = PacketKind::Data;
         p.flow = FlowId(0);
         p.wire_size = size;
         p.payload = size;
-        p
+        h
+    }
+
+    fn ack_pkt(pool: &mut PacketPool, size: u32) -> PacketHandle {
+        let h = pool.alloc();
+        let p = pool.get_mut(h);
+        p.kind = PacketKind::Ack;
+        p.wire_size = size;
+        h
     }
 
     fn port(rate_gbps: u64) -> Port {
@@ -392,18 +432,20 @@ mod tests {
         let mut pool = PacketPool::new();
         let mut rng = DetRng::new(1);
         let mut p = port(100);
+        let h1 = data_pkt(&mut pool, 1000);
         assert!(p
-            .enqueue(data_pkt(&mut pool, 1000), &mut rng)
+            .enqueue(h1, &mut pool, &mut rng)
             .expect("no buffer limit set")); // idle → start
         p.busy = true;
+        let h2 = data_pkt(&mut pool, 500);
         assert!(!p
-            .enqueue(data_pkt(&mut pool, 500), &mut rng)
+            .enqueue(h2, &mut pool, &mut rng)
             .expect("no buffer limit set")); // busy
         assert_eq!(p.qbytes(), 1500);
         assert_eq!(p.max_qbytes(), 1500);
 
         let (pkt, delay) = p.begin_tx().expect("queue has a packet");
-        assert_eq!(pkt.wire_size, 1000);
+        assert_eq!(pool.get(pkt).wire_size, 1000);
         assert_eq!(delay, Nanos(80)); // 1000B @ 100Gbps
         assert_eq!(p.qbytes(), 500);
         assert_eq!(p.tx_bytes(), 1000);
@@ -419,7 +461,8 @@ mod tests {
         let mut p = port(100);
         let mut total = Nanos::ZERO;
         for _ in 0..5 {
-            p.enqueue(data_pkt(&mut pool, 60), &mut rng)
+            let h = data_pkt(&mut pool, 60);
+            p.enqueue(h, &mut pool, &mut rng)
                 .expect("no buffer limit set");
             let (_, d) = p.begin_tx().expect("queue has a packet");
             total += d;
@@ -438,16 +481,18 @@ mod tests {
             pmax: 1.0,
         });
         // First packet sees empty queue (0 <= kmin=0 → no mark).
-        p.enqueue(data_pkt(&mut pool, 1000), &mut rng)
+        let h1 = data_pkt(&mut pool, 1000);
+        p.enqueue(h1, &mut pool, &mut rng)
             .expect("no buffer limit set");
         p.busy = true;
         // Second packet sees 1000 >= kmax → always marked.
-        p.enqueue(data_pkt(&mut pool, 1000), &mut rng)
+        let h2 = data_pkt(&mut pool, 1000);
+        p.enqueue(h2, &mut pool, &mut rng)
             .expect("no buffer limit set");
         let (first, _) = p.begin_tx().expect("queue has a packet");
         let (second, _) = p.begin_tx().expect("queue has a packet");
-        assert!(!first.ecn);
-        assert!(second.ecn);
+        assert!(!pool.get(first).ecn);
+        assert!(pool.get(second).ecn);
     }
 
     #[test]
@@ -460,16 +505,16 @@ mod tests {
             kmax: Bytes(1),
             pmax: 1.0,
         });
-        let mut ack = pool.get();
-        ack.kind = PacketKind::Ack;
-        ack.wire_size = 60;
-        p.enqueue(data_pkt(&mut pool, 1000), &mut rng)
+        let ack = ack_pkt(&mut pool, 60);
+        let data = data_pkt(&mut pool, 1000);
+        p.enqueue(data, &mut pool, &mut rng)
             .expect("no buffer limit set"); // fill queue
         p.busy = true;
-        p.enqueue(ack, &mut rng).expect("control frames never drop");
+        p.enqueue(ack, &mut pool, &mut rng)
+            .expect("control frames never drop");
         p.begin_tx().expect("queue has a packet");
         let (ack_out, _) = p.begin_tx().expect("queue has a packet");
-        assert!(!ack_out.ecn);
+        assert!(!pool.get(ack_out).ecn);
     }
 
     #[test]
@@ -492,8 +537,9 @@ mod tests {
         let mut rng = DetRng::new(1);
         let mut p = port(100);
         p.pause.apply(true);
+        let h = data_pkt(&mut pool, 1000);
         assert!(!p
-            .enqueue(data_pkt(&mut pool, 1000), &mut rng)
+            .enqueue(h, &mut pool, &mut rng)
             .expect("no buffer limit set"));
         assert!(p.has_backlog());
     }
@@ -505,17 +551,17 @@ mod tests {
         let mut p = port(100);
         p.buffer_limit = Some(1_500);
         p.busy = true;
-        assert!(p.enqueue(data_pkt(&mut pool, 1000), &mut rng).is_ok());
+        let h1 = data_pkt(&mut pool, 1000);
+        assert!(p.enqueue(h1, &mut pool, &mut rng).is_ok());
         // Second data packet exceeds the 1.5 KB budget: dropped.
-        let r = p.enqueue(data_pkt(&mut pool, 1000), &mut rng);
+        let h2 = data_pkt(&mut pool, 1000);
+        let r = p.enqueue(h2, &mut pool, &mut rng);
         assert!(r.is_err());
         assert_eq!(p.dropped_packets(), 1);
         assert_eq!(p.qbytes(), 1000);
         // Control frames ride reserved headroom: never dropped.
-        let mut ack = pool.get();
-        ack.kind = PacketKind::Ack;
-        ack.wire_size = 60;
-        assert!(p.enqueue(ack, &mut rng).is_ok());
+        let ack = ack_pkt(&mut pool, 60);
+        assert!(p.enqueue(ack, &mut pool, &mut rng).is_ok());
         assert_eq!(p.dropped_packets(), 1);
     }
 
@@ -531,25 +577,26 @@ mod tests {
         let mut rng = DetRng::new(1);
         let mut p = port(100);
         p.busy = true;
-        p.enqueue(data_pkt(&mut pool, 1000), &mut rng)
+        let h1 = data_pkt(&mut pool, 1000);
+        p.enqueue(h1, &mut pool, &mut rng)
             .expect("no buffer limit set");
-        p.enqueue(data_pkt(&mut pool, 500), &mut rng)
+        let h2 = data_pkt(&mut pool, 500);
+        p.enqueue(h2, &mut pool, &mut rng)
             .expect("no buffer limit set");
         let flushed = p.take_down(Nanos(77));
-        assert_eq!(flushed.len(), 2);
+        assert_eq!(flushed, vec![h1, h2]);
         assert!(!p.link_up);
         assert_eq!(p.last_down, Nanos(77));
         assert_eq!(p.qbytes(), 0);
         assert_eq!(p.dropped_packets(), 2);
         assert_eq!(p.dropped_bytes(), 1500);
         // A down wire refuses everything, control frames included.
-        let mut ack = pool.get();
-        ack.kind = PacketKind::Ack;
-        ack.wire_size = 60;
-        assert!(p.enqueue(ack, &mut rng).is_err());
+        let ack = ack_pkt(&mut pool, 60);
+        assert!(p.enqueue(ack, &mut pool, &mut rng).is_err());
         assert_eq!(p.dropped_packets(), 3);
         p.bring_up();
         assert!(p.link_up);
-        assert!(p.enqueue(data_pkt(&mut pool, 100), &mut rng).is_ok());
+        let h3 = data_pkt(&mut pool, 100);
+        assert!(p.enqueue(h3, &mut pool, &mut rng).is_ok());
     }
 }

@@ -1,0 +1,13 @@
+//! A2 fixture: the boxed `Arrive` payload is ~12 bytes — it fits the
+//! enum inline; boxing it costs one allocation plus a pointer chase on
+//! every event the scheduler moves.
+
+pub struct Packet {
+    pub flow: u64,
+    pub bytes: u32,
+}
+
+pub enum Event {
+    Tick,
+    Arrive { pkt: Box<Packet> },
+}

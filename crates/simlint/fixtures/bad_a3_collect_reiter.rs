@@ -1,0 +1,15 @@
+//! A3 fixture: `.collect()` materializes an intermediate `Vec` that is
+//! immediately re-iterated — once on a method chain and once as a
+//! for-loop head. Both are deletable, fusing the iterator chain.
+
+pub fn step(xs: &[u64]) -> u64 {
+    let mut total = relay(xs);
+    for x in xs.iter().map(|v| v + 1).collect::<Vec<u64>>() {
+        total += x;
+    }
+    total
+}
+
+fn relay(xs: &[u64]) -> u64 {
+    xs.iter().map(|v| v * 2).collect::<Vec<u64>>().into_iter().sum()
+}

@@ -1,0 +1,23 @@
+//! A4 fixture: `Telemetry` is ~80 bytes; passing it by value down the
+//! per-event path memcpys the whole struct on every call.
+
+pub struct Telemetry {
+    pub t0: u64,
+    pub t1: u64,
+    pub t2: u64,
+    pub t3: u64,
+    pub t4: u64,
+    pub t5: u64,
+    pub t6: u64,
+    pub t7: u64,
+    pub t8: u64,
+    pub t9: u64,
+}
+
+pub fn step(t: Telemetry) {
+    sink(t);
+}
+
+fn sink(t: Telemetry) {
+    let _ = t.t0;
+}

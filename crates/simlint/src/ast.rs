@@ -120,8 +120,14 @@ pub enum Item {
         name: String,
         /// Variant names in declaration order.
         variants: Vec<String>,
+        /// Per-variant payload types, aligned with `variants`: tuple
+        /// payload types, named-field payload types, or empty for unit
+        /// variants. The A2 cost rule sizes these.
+        payloads: Vec<Vec<TypeRef>>,
         /// Declared inside `#[cfg(test)]` code.
         cfg_test: bool,
+        /// 1-based declaration line.
+        line: usize,
     },
     /// Free function or method.
     Fn(FnItem),

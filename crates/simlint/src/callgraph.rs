@@ -89,6 +89,80 @@ pub struct UnstableIter {
     pub fix: Option<Fix>,
 }
 
+/// The shape of a heap allocation the A1 cost rule reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// `Box::new(..)`.
+    BoxNew,
+    /// `Vec::new()` / `vec![..]` without a reachable capacity reservation.
+    VecGrowth,
+    /// `.push(..)` on a positively-inferred `Vec` receiver.
+    VecPush,
+    /// `String::new`/`String::from`/`format!`/`.to_string()`/`.to_owned()`.
+    StringAlloc,
+    /// `.clone()` of a workspace type that owns heap storage.
+    CloneHeap,
+}
+
+impl AllocKind {
+    /// Short label used in diagnostics.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            AllocKind::BoxNew => "`Box::new` heap allocation",
+            AllocKind::VecGrowth => "`Vec` construction without a capacity reservation",
+            AllocKind::VecPush => "growth-reallocating `Vec::push`",
+            AllocKind::StringAlloc => "`String` allocation",
+            AllocKind::CloneHeap => "`.clone()` of a heap-owning type",
+        }
+    }
+}
+
+/// A heap-allocation site observed in a function body (A1 raw material).
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    /// 1-based line.
+    pub line: usize,
+    /// Span of the allocating expression.
+    pub span: Span,
+    /// What allocates.
+    pub kind: AllocKind,
+    /// Source rendering / type detail for the message (`Box::new`,
+    /// `.clone()` of `Packet`, …).
+    pub what: String,
+    /// The site sits inside a loop body — per-iteration allocation.
+    pub in_loop: bool,
+    /// Mechanical reserve-insertion fix (`Vec::new()` →
+    /// `Vec::with_capacity(n)`) when the loop bound is knowable.
+    pub fix: Option<Fix>,
+}
+
+/// A collect-then-iterate materialization site (A3 raw material).
+#[derive(Debug, Clone)]
+pub struct CollectIter {
+    /// 1-based line.
+    pub line: usize,
+    /// Span of the whole chain expression.
+    pub span: Span,
+    /// The re-iteration method (`into_iter`, `iter`, or a `for` head).
+    pub method: &'static str,
+    /// Whether the chain sits inside a loop body (escalates severity).
+    pub in_loop: bool,
+    /// Iterator-fusion fix (delete `.collect::<Vec<_>>().into_iter()`)
+    /// when type-sound.
+    pub fix: Option<Fix>,
+}
+
+/// A large struct parameter passed by value (A4 raw material).
+#[derive(Debug, Clone)]
+pub struct ByvalParam {
+    /// Parameter binding name.
+    pub name: String,
+    /// Parameter type name.
+    pub ty: String,
+    /// Estimated size in bytes from the symbol table's field shapes.
+    pub est_bytes: usize,
+}
+
 /// A float accumulation whose operand order may be unstable.
 #[derive(Debug, Clone)]
 pub struct FloatAccum {
@@ -137,6 +211,16 @@ pub struct FnFacts {
     /// SCREAMING_CASE path references (candidate static/const reads),
     /// with their lines.
     pub caps_refs: Vec<(String, usize)>,
+    /// Heap-allocation sites (A1 raw material).
+    pub alloc_sites: Vec<AllocSite>,
+    /// The body calls `with_capacity`/`reserve`/`reserve_exact` somewhere —
+    /// growth-allocation findings in this function are then presumed
+    /// amortized and suppressed.
+    pub reserves: bool,
+    /// Collect-then-iterate sites (A3 raw material).
+    pub collect_iters: Vec<CollectIter>,
+    /// Large struct parameters taken by value (A4 raw material).
+    pub byval_params: Vec<ByvalParam>,
 }
 
 /// A `static` item declaration.
@@ -180,6 +264,11 @@ pub struct CallGraph {
     /// Per-call resolution: `call_targets[i][j]` are the fn indices call
     /// `fns[i].calls[j]` resolved to.
     pub call_targets: Vec<Vec<Vec<usize>>>,
+    /// Edges that only exist because of name-only method dispatch (the
+    /// receiver type was unknown). Low confidence: the cost pass refuses
+    /// to extend hot-path reachability through them, because one false
+    /// `.get()`/`.expect()` match would poison an entire subtree.
+    pub name_only: BTreeSet<(usize, usize)>,
 }
 
 impl CallGraph {
@@ -210,15 +299,19 @@ impl CallGraph {
 
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
         let mut call_targets: Vec<Vec<Vec<usize>>> = vec![Vec::new(); fns.len()];
+        let mut name_only: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut confident: BTreeSet<(usize, usize)> = BTreeSet::new();
         for (i, f) in fns.iter().enumerate() {
             let mut per_call = Vec::with_capacity(f.calls.len());
             for c in &f.calls {
+                let mut low_confidence = false;
                 let targets: Vec<usize> = match (&c.owner, c.via_method) {
                     (Some(owner), _) => by_exact
                         .get(&(Some(owner.as_str()), c.name.as_str()))
                         .cloned()
                         .unwrap_or_default(),
                     (None, true) => {
+                        low_confidence = true;
                         let cands = methods_by_name
                             .get(c.name.as_str())
                             .cloned()
@@ -237,6 +330,13 @@ impl CallGraph {
                 for &t in &targets {
                     if t != i {
                         edges[i].push(t);
+                        if low_confidence {
+                            name_only.insert((i, t));
+                        } else {
+                            // A typed resolution of the same edge outranks
+                            // any name-only match recorded earlier.
+                            confident.insert((i, t));
+                        }
                     }
                 }
                 per_call.push(targets);
@@ -257,12 +357,15 @@ impl CallGraph {
             r.dedup();
         }
 
+        name_only.retain(|e| !confident.contains(e));
+
         CallGraph {
             fns,
             statics,
             edges,
             redges,
             call_targets,
+            name_only,
         }
     }
 

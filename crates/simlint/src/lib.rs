@@ -70,12 +70,31 @@
 //! silence rather than noise. Findings with mechanical rewrites carry a
 //! [`Fix`]; [`fix_source_set`]/[`fix_tree`] apply them to a fixpoint so
 //! `--fix` is idempotent. [`emit`] renders JSON and SARIF 2.1.0 for CI.
+//!
+//! # simlint v3/v4: the interprocedural passes
+//!
+//! The semantic walk also records per-function facts ([`callgraph`])
+//! linked into a workspace call graph. Two rule families ride it: the
+//! P family ([`flow`]) flags parallel-readiness hazards (shared mutable
+//! state, order-unstable iteration feeding scheduling/metrics, RNG
+//! stream discipline, bare-time heap keys, order-sensitive float
+//! accumulation), and the A family ([`cost`]) flags per-event cost —
+//! heap allocation reachable from the engine hot roots (A1), boxed
+//! event payloads that fit inline (A2), collect-then-iterate
+//! materialization (A3), and large by-value parameters on hot call
+//! edges (A4). P/A findings carry witness call chains from a hot root.
+//!
+//! Deliberate, justified allocations are managed by a committed ratchet
+//! file ([`Baseline`], `simlint --baseline FILE`): CI fails only on
+//! findings not present in the baseline, so the sweep can be staged
+//! without ever letting new cost regressions in.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
 pub mod callgraph;
+pub mod cost;
 pub mod emit;
 pub mod fix;
 pub mod flow;
@@ -125,13 +144,21 @@ pub enum Rule {
     P4,
     /// Order-sensitive float accumulation in reduction positions.
     P5,
+    /// Heap allocation in functions reachable from engine hot roots.
+    A1,
+    /// Boxed event payloads whose concrete types fit an inline variant.
+    A2,
+    /// Collect-then-iterate materialization on hot call chains.
+    A3,
+    /// Large structs passed by value across hot call edges.
+    A4,
     /// Stale `simlint: allow(...)` comments that suppress nothing.
     S1,
 }
 
 impl Rule {
     /// Every rule, in id order.
-    pub const ALL: [Rule; 17] = [
+    pub const ALL: [Rule; 21] = [
         Rule::D1,
         Rule::D2,
         Rule::D3,
@@ -148,6 +175,10 @@ impl Rule {
         Rule::P3,
         Rule::P4,
         Rule::P5,
+        Rule::A1,
+        Rule::A2,
+        Rule::A3,
+        Rule::A4,
         Rule::S1,
     ];
 
@@ -170,11 +201,16 @@ impl Rule {
             Rule::P3 => "P3",
             Rule::P4 => "P4",
             Rule::P5 => "P5",
+            Rule::A1 => "A1",
+            Rule::A2 => "A2",
+            Rule::A3 => "A3",
+            Rule::A4 => "A4",
             Rule::S1 => "S1",
         }
     }
 
-    /// The rule family letter (`'D'`, `'U'`, `'O'`, `'E'`, `'P'`, `'S'`).
+    /// The rule family letter (`'D'`, `'U'`, `'O'`, `'E'`, `'P'`, `'A'`,
+    /// `'S'`).
     pub fn family(self) -> char {
         self.id().chars().next().expect("rule ids are non-empty")
     }
@@ -255,6 +291,24 @@ impl Rule {
                 "float accumulation whose operand order depends on map iteration \
                  rounds differently per run; sort the operands or accumulate in \
                  integers"
+            }
+            Rule::A1 => {
+                "heap allocation (Box::new, growing Vec/String, format!, clone of \
+                 heap-owning types) in functions reachable from engine hot roots \
+                 dominates per-event cost at scale; pool, pre-size, or inline instead"
+            }
+            Rule::A2 => {
+                "a boxed event payload whose concrete type fits an inline enum \
+                 variant costs one heap round-trip per event; store the payload by \
+                 value or as a slab handle"
+            }
+            Rule::A3 => {
+                "collect-then-iterate materializes an intermediate Vec on a hot \
+                 chain; fuse the iterator chain instead"
+            }
+            Rule::A4 => {
+                "passing a large struct by value across a hot call edge copies it \
+                 on every call; pass a reference"
             }
             Rule::S1 => {
                 "a simlint: allow(...) comment that no longer suppresses anything is \
@@ -398,6 +452,59 @@ impl Rule {
                  Fix: iterate a BTree container, sort operands first, or accumulate \
                  in integer units (Nanos/Bytes) and convert once at the end."
             }
+            Rule::A1 => {
+                "A1 — heap allocation on the engine hot path.\n\n\
+                 The fat-tree runs dispatch millions of events; ROADMAP item 5 \
+                 measured per-event overhead (boxing, transient Vecs, clones) \
+                 overtaking algorithmic order on the incast cell. A1 walks the \
+                 call graph forward from the hot roots (run/run_with/run_watched/\
+                 step, scheduler push/pop, port enqueue/dequeue) and reports \
+                 Box::new, Vec construction and pushes without a reachable \
+                 capacity reservation, String/format! allocation, and .clone() \
+                 of heap-owning workspace types. Constructor/builder-named \
+                 callees (new/build*/with_*/from_*/setup*/init*/default) \
+                 terminate the walk — their cost is amortized setup — and in \
+                 once-per-run roots (run*) only allocations inside loops fire. \
+                 Sites inside loops escalate: they allocate every iteration.\n\n\
+                 Findings carry a witness chain from the hot root to the \
+                 allocating function.\n\n\
+                 Fix: allocate from a pool/slab (netsim::PacketPool), pre-size \
+                 with with_capacity/reserve (the auto-fix inserts a capacity \
+                 when the loop bound is a sized local), inline payloads, or \
+                 carry a justified allow / baseline entry for deliberate \
+                 one-time growth."
+            }
+            Rule::A2 => {
+                "A2 — boxed event payloads that fit inline.\n\n\
+                 A Box<T> payload in a sim-scope event enum costs one heap \
+                 allocation + pointer chase per event. When the symbol table \
+                 shows T is a small workspace type (est. <= 128 bytes), the \
+                 variant can hold T by value — or a Copy slab handle — and the \
+                 event queue stays allocation-free. Boxed trait objects are \
+                 flagged unconditionally: enumerate the concrete payload types \
+                 as inline variants.\n\n\
+                 Fix: store the payload by value, or replace the box with a \
+                 generation-indexed pool handle (see netsim::packet::PacketHandle)."
+            }
+            Rule::A3 => {
+                "A3 — collect-then-iterate on hot chains.\n\n\
+                 `.collect::<Vec<_>>()` followed by `.into_iter()`/`.iter()` (or \
+                 a for-loop over a fresh collect) materializes an intermediate \
+                 Vec only to walk it once — a transient allocation per call on \
+                 the hot path.\n\n\
+                 Fix: fuse the chain (the auto-fix deletes a type-sound \
+                 `.collect::<Vec<_>>().into_iter()` pair), or hoist the \
+                 materialization out of the hot path if the double walk is \
+                 intentional."
+            }
+            Rule::A4 => {
+                "A4 — large structs by value across hot call edges.\n\n\
+                 A parameter whose struct type the symbol table sizes above 64 \
+                 bytes is memcpy'd on every call; on per-event call chains that \
+                 is pure overhead.\n\n\
+                 Fix: take &T (or &mut T), or shrink the struct (slab handles \
+                 instead of inline buffers)."
+            }
             Rule::S1 => {
                 "S1 — stale allows.\n\n\
                  A `simlint: allow(RULE)` comment whose rule no longer fires on \
@@ -475,6 +582,120 @@ impl fmt::Display for Finding {
             "{}:{}: error[{}]: {}",
             self.path, self.line, self.rule, self.message
         )
+    }
+}
+
+/// A committed finding ratchet: known findings that are tolerated until
+/// the code they point at is swept, while anything *new* still fails.
+///
+/// The on-disk format is line-oriented and diff-friendly:
+///
+/// ```text
+/// # simlint baseline v1
+/// A1<TAB>crates/netsim/src/packet.rs<TAB>57<TAB>free-form note
+/// ```
+///
+/// Entries match findings by `(rule, path, line)` — moving a baselined
+/// site (or fixing it) invalidates the entry, which is the point of a
+/// ratchet: the file can only shrink without deliberate review.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: std::collections::BTreeSet<(String, String, usize)>,
+}
+
+impl Baseline {
+    /// Parse the on-disk format. Blank lines and `#` comments are
+    /// skipped; a malformed entry line is an error (a silently dropped
+    /// entry would un-suppress a finding with no explanation).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = std::collections::BTreeSet::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(4, '\t');
+            let (Some(rule), Some(path), Some(lno)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected RULE<TAB>PATH<TAB>LINE[<TAB>note]",
+                    n + 1
+                ));
+            };
+            if Rule::parse(rule).is_none() {
+                return Err(format!("baseline line {}: unknown rule `{rule}`", n + 1));
+            }
+            let lno: usize = lno
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad line number `{lno}`", n + 1))?;
+            entries.insert((rule.to_string(), path.to_string(), lno));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Render a finding set in the on-disk format (used by
+    /// `--write-baseline`). The note column carries the first sentence
+    /// of the message for human review; it is ignored when parsing.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from("# simlint baseline v1\n");
+        let mut seen = std::collections::BTreeSet::new();
+        for f in findings {
+            if !seen.insert((f.rule.id(), f.path.as_str(), f.line)) {
+                continue;
+            }
+            let note: String = f
+                .message
+                .split([';', '\n'])
+                .next()
+                .unwrap_or("")
+                .chars()
+                .take(120)
+                .collect();
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\n",
+                f.rule.id(),
+                f.path,
+                f.line,
+                note
+            ));
+        }
+        out
+    }
+
+    /// Whether a finding matches a baseline entry.
+    pub fn contains(&self, f: &Finding) -> bool {
+        self.entries
+            .contains(&(f.rule.id().to_string(), f.path.clone(), f.line))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Split findings into `(new, baselined)`.
+    pub fn split<'f>(&self, findings: &'f [Finding]) -> (Vec<&'f Finding>, Vec<&'f Finding>) {
+        findings.iter().partition(|f| !self.contains(f))
+    }
+
+    /// Entries no finding matches any more, as `(rule, path, line)`.
+    /// The ratchet treats these as errors: the swept code no longer
+    /// needs the entry, so the baseline must shrink with it.
+    pub fn stale(&self, findings: &[Finding]) -> Vec<(String, String, usize)> {
+        self.entries
+            .iter()
+            .filter(|(rule, path, line)| {
+                !findings
+                    .iter()
+                    .any(|f| f.rule.id() == rule && f.path == *path && f.line == *line)
+            })
+            .cloned()
+            .collect()
     }
 }
 
@@ -1200,11 +1421,14 @@ pub fn analyze_files(files: &[(String, String)]) -> Analysis {
         raws.push(raw);
     }
 
-    // Interprocedural pass: workspace call graph + P-family flow rules.
-    // Runs before suppression so P findings can be allowed and S1
-    // staleness accounts for them.
+    // Interprocedural pass: workspace call graph + P-family flow rules
+    // and A-family cost rules. Runs before suppression so P/A findings
+    // can be allowed and S1 staleness accounts for them.
     let graph = callgraph::CallGraph::build(facts);
-    for f in flow::check(&graph) {
+    for f in flow::check(&graph)
+        .into_iter()
+        .chain(cost::check(&graph, &symbols))
+    {
         if let Some(i) = files.iter().position(|(p, _)| p == &f.path) {
             raws[i].push(f);
         }

@@ -26,6 +26,13 @@ options:
                    (e.g. `--rules U,O` or `--rules D3,E1`; default: all)
   --emit FORMAT    output format: text (default), json, or sarif
   --fix            apply mechanical fixes in place, then report what remains
+  --baseline FILE  ratchet mode: findings listed in FILE are tolerated,
+                   anything new still fails; entries no finding matches
+                   any more are stale and also fail (the file may only
+                   shrink — remove the swept lines)
+  --write-baseline FILE
+                   write the current findings to FILE in baseline format
+                   and exit (the only sanctioned way to grow the file)
   --explain [RULE] print the rule table and exit; with a rule id (e.g.
                    `--explain P2`), print that rule's full rationale
   -h, --help       print this help and exit
@@ -69,6 +76,8 @@ fn main() -> ExitCode {
     let mut rules: Option<Vec<Rule>> = None;
     let mut emit_fmt = Emit::Text;
     let mut do_fix = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -96,6 +105,18 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--fix" => do_fix = true,
+            "--baseline" => {
+                let Some(file) = args.next() else {
+                    return usage_error("--baseline needs a file path");
+                };
+                baseline_path = Some(PathBuf::from(file));
+            }
+            "--write-baseline" => {
+                let Some(file) = args.next() else {
+                    return usage_error("--write-baseline needs a file path");
+                };
+                write_baseline = Some(PathBuf::from(file));
+            }
             "--rules" => {
                 let Some(list) = args.next() else {
                     return usage_error("--rules needs a value (e.g. `--rules U,O`)");
@@ -177,6 +198,63 @@ fn main() -> ExitCode {
         analysis.findings.retain(|f| selected.contains(&f.rule));
     }
 
+    if let Some(path) = &write_baseline {
+        let text = simlint::Baseline::render(&analysis.findings);
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("simlint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "simlint: wrote {} baseline entr{} to {}",
+            analysis.findings.len(),
+            if analysis.findings.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            path.display()
+        );
+        return if analysis.parse_failures.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        };
+    }
+
+    let mut stale_entries = Vec::new();
+    if let Some(path) = &baseline_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("simlint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match simlint::Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("simlint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        stale_entries = baseline.stale(&analysis.findings);
+        let before = analysis.findings.len();
+        analysis.findings.retain(|f| !baseline.contains(f));
+        let tolerated = before - analysis.findings.len();
+        if tolerated > 0 {
+            eprintln!(
+                "simlint: {tolerated} baselined finding(s) tolerated per {}",
+                path.display()
+            );
+        }
+        for (rule, fpath, line) in &stale_entries {
+            eprintln!(
+                "simlint: stale baseline entry {rule}\t{fpath}\t{line} — no finding \
+                 matches it any more; remove the line (the ratchet only shrinks)"
+            );
+        }
+    }
+
     match emit_fmt {
         Emit::Json => print!(
             "{}",
@@ -218,7 +296,7 @@ fn main() -> ExitCode {
 
     if !analysis.parse_failures.is_empty() {
         ExitCode::from(2)
-    } else if analysis.findings.is_empty() {
+    } else if analysis.findings.is_empty() && stale_entries.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -614,12 +614,14 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_enum(&mut self, cfg_test: bool) -> Item {
+        let line = self.line_here();
         let name = self.bump_ident().unwrap_or_default();
         self.skip_generics();
         if self.is_kw("where") {
             self.skip_to_body();
         }
         let mut variants = Vec::new();
+        let mut payloads = Vec::new();
         if self.eat_open('{') {
             while !self.at_close('}') && !self.at_end() {
                 self.parse_attrs();
@@ -628,9 +630,7 @@ impl<'a> Parser<'a> {
                     continue;
                 };
                 variants.push(vname);
-                if self.at_open('(') || self.at_open('{') {
-                    self.skip_balanced();
-                }
+                payloads.push(self.parse_variant_payload());
                 if self.eat_op("=") {
                     // Discriminant: skip to `,` or `}`.
                     while !self.at_op(",") && !self.at_close('}') && !self.at_end() {
@@ -652,8 +652,44 @@ impl<'a> Parser<'a> {
         Item::Enum {
             name,
             variants,
+            payloads,
             cfg_test,
+            line,
         }
+    }
+
+    /// Payload types of one enum variant: `(T, U)` tuple payloads, the
+    /// field types of `{ f: T, .. }` struct payloads, empty for unit
+    /// variants. Malformed payloads degrade to whatever parsed.
+    fn parse_variant_payload(&mut self) -> Vec<TypeRef> {
+        let mut tys = Vec::new();
+        if self.eat_open('(') {
+            while !self.at_close(')') && !self.at_end() {
+                self.parse_attrs();
+                tys.push(self.parse_type());
+                if !self.eat_op(",") {
+                    break;
+                }
+            }
+            self.eat_close(')');
+        } else if self.eat_open('{') {
+            while !self.at_close('}') && !self.at_end() {
+                self.parse_attrs();
+                if self.bump_ident().is_none() {
+                    self.pos += 1;
+                    continue;
+                }
+                if !self.eat_op(":") {
+                    continue;
+                }
+                tys.push(self.parse_type());
+                if !self.eat_op(",") {
+                    break;
+                }
+            }
+            self.eat_close('}');
+        }
+        tys
     }
 
     fn parse_fn(&mut self, cfg_test: bool) -> FnItem {

@@ -12,7 +12,8 @@
 
 use crate::ast::{Arm, BinOp, Block, Expr, ExprKind, File, FnItem, Item, Lit, Pat, Stmt, TypeRef};
 use crate::callgraph::{
-    CallRef, FileFacts, FloatAccum, FnFacts, FnKey, StaticItem, StreamArg, UnstableIter,
+    AllocKind, AllocSite, ByvalParam, CallRef, CollectIter, FileFacts, FloatAccum, FnFacts, FnKey,
+    StaticItem, StreamArg, UnstableIter,
 };
 use crate::infer::{elem_of, method_ret, named_of, Env, Ty};
 use crate::lex::Span;
@@ -110,6 +111,7 @@ pub fn check_file_collect(file: &File, src: &str, sym: &Symbols) -> (Vec<Finding
         fn_stack: Vec::new(),
         loop_stack: Vec::new(),
         hash_decls: Vec::new(),
+        vec_decls: Vec::new(),
     };
     chk.bind_consts(&file.items);
     chk.walk_items(&file.items, None, false);
@@ -117,10 +119,12 @@ pub fn check_file_collect(file: &File, src: &str, sym: &Symbols) -> (Vec<Finding
 }
 
 /// Loop context for P5: is the iteration head order-unstable, and which
-/// calls does it make?
+/// calls does it make? For the A1 reserve fix, `head_binding` records the
+/// sized local the loop iterates (looking through `&` and iter methods).
 struct LoopFrame {
     head_unstable: bool,
     head_calls: Vec<usize>,
+    head_binding: Option<String>,
 }
 
 struct Checker<'a> {
@@ -142,6 +146,9 @@ struct Checker<'a> {
     /// Local `let` declarations with hash-container annotations:
     /// `(binding, decl line, container name)` — the P2 fix target.
     hash_decls: Vec<(String, usize, &'static str)>,
+    /// Local `let xs = Vec::new()` declarations: `(binding, fn fact
+    /// index, alloc-site index)` — the A1 reserve-insertion fix target.
+    vec_decls: Vec<(String, usize, usize)>,
 }
 
 impl<'a> Checker<'a> {
@@ -294,6 +301,29 @@ impl<'a> Checker<'a> {
     fn walk_fn(&mut self, f: &FnItem, self_ty: Option<&Ty>, in_test: bool) {
         let owner = self_ty.and_then(named_of).map(|s| s.to_string());
         let fact_idx = self.facts.fns.len();
+        // A4 raw material: workspace-struct/enum parameters taken by
+        // value whose estimated size exceeds a cache line.
+        let mut byval_params = Vec::new();
+        for (pat, ty) in &f.params {
+            let TypeRef::Path { segs, .. } = ty else {
+                continue;
+            };
+            let Some(tn) = segs.last() else { continue };
+            if !self.sym.structs.contains_key(tn) && !self.sym.enums.contains_key(tn) {
+                continue;
+            }
+            let est = self.sym.est_size(ty, 0);
+            if est <= crate::cost::BYVAL_LIMIT {
+                continue;
+            }
+            if let Some(name) = pat.as_binding() {
+                byval_params.push(ByvalParam {
+                    name: name.to_string(),
+                    ty: tn.clone(),
+                    est_bytes: est,
+                });
+            }
+        }
         self.facts.fns.push(FnFacts {
             key: FnKey {
                 owner,
@@ -302,11 +332,13 @@ impl<'a> Checker<'a> {
             path: self.path.clone(),
             line: f.line,
             is_test: in_test || f.cfg_test || self.test_path,
+            byval_params,
             ..FnFacts::default()
         });
         let Some(body) = &f.body else { return };
         self.fn_stack.push(fact_idx);
         let decl_mark = self.hash_decls.len();
+        let vec_mark = self.vec_decls.len();
         let saved = self.in_test;
         self.in_test = in_test || f.cfg_test;
         self.env.push();
@@ -323,6 +355,7 @@ impl<'a> Checker<'a> {
         self.env.pop();
         self.in_test = saved;
         self.hash_decls.truncate(decl_mark);
+        self.vec_decls.truncate(vec_mark);
         self.fn_stack.pop();
     }
 
@@ -396,6 +429,22 @@ impl<'a> Checker<'a> {
         };
         if let Some(f) = self.fact() {
             f.unstable_iters.push(site);
+        }
+    }
+
+    /// Record a heap-allocation site for the A1 hot-path pass. Loop
+    /// context is captured here because only the local walk knows it.
+    fn note_alloc(&mut self, kind: AllocKind, what: String, e: &Expr) {
+        let site = AllocSite {
+            line: e.line,
+            span: e.span,
+            kind,
+            what,
+            in_loop: !self.loop_stack.is_empty(),
+            fix: None,
+        };
+        if let Some(f) = self.fact() {
+            f.alloc_sites.push(site);
         }
     }
 
@@ -481,6 +530,116 @@ impl<'a> Checker<'a> {
             }
         }
 
+        // A-family raw material: reserve knowledge, allocation sites, and
+        // collect-then-iterate chains. Loop context is captured in the site.
+        if matches!(name, "reserve" | "reserve_exact") {
+            if let Some(f) = self.fact() {
+                f.reserves = true;
+            }
+        }
+        let recv_binding = Self::binding_of(recv).map(|s| s.to_string());
+        let is_growth_push = matches!(name, "push" | "push_back" | "push_front")
+            && !is_sched
+            && recv_name != Some("BinaryHeap")
+            && (matches!(recv_name, Some("Vec" | "VecDeque"))
+                || recv_binding
+                    .as_deref()
+                    .is_some_and(|b| self.vec_decls.iter().any(|(n, _, _)| n == b)));
+        if is_growth_push {
+            self.note_alloc(
+                AllocKind::VecPush,
+                format!("`.{name}` growing an unreserved buffer"),
+                e,
+            );
+            // Mechanical fix: when the loop head iterates a *different*
+            // sized local, rewrite the buffer's `Vec::new()` declaration to
+            // `Vec::with_capacity(head.len())`. Attached to the decl-site
+            // alloc record so the finding that owns the span carries it.
+            let head = self
+                .loop_stack
+                .last()
+                .and_then(|l| l.head_binding.clone())
+                .filter(|h| Some(h.as_str()) != recv_binding.as_deref());
+            if let (Some(h), Some(b)) = (head, recv_binding.as_deref()) {
+                if let Some(&(_, fn_idx, site_idx)) =
+                    self.vec_decls.iter().rev().find(|(n, _, _)| n == b)
+                {
+                    if let Some(site) = self
+                        .facts
+                        .fns
+                        .get_mut(fn_idx)
+                        .and_then(|f| f.alloc_sites.get_mut(site_idx))
+                    {
+                        if site.fix.is_none() {
+                            site.fix = Some(Fix {
+                                span: site.span,
+                                replacement: format!("Vec::with_capacity({h}.len())"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if matches!(name, "to_string" | "to_owned") {
+            self.note_alloc(
+                AllocKind::StringAlloc,
+                format!("`.{name}()` string allocation"),
+                e,
+            );
+        }
+        if name == "clone" && args.is_empty() {
+            let heapy = match recv_name {
+                Some(
+                    n @ ("Vec" | "VecDeque" | "String" | "Box" | "Rc" | "Arc" | "BTreeMap"
+                    | "BTreeSet" | "HashMap" | "HashSet" | "BinaryHeap"),
+                ) => Some(n),
+                Some(n) if self.sym.owns_heap(n) => Some(n),
+                _ => None,
+            };
+            if let Some(n) = heapy {
+                self.note_alloc(
+                    AllocKind::CloneHeap,
+                    format!("`.clone()` of heap-owning `{n}`"),
+                    e,
+                );
+            }
+        }
+        if matches!(name, "into_iter" | "iter" | "iter_mut") {
+            if let ExprKind::MethodCall {
+                recv: inner,
+                name: rn,
+                ..
+            } = &recv.kind
+            {
+                if rn == "collect" {
+                    // Only `.collect::<Vec<_>>().into_iter()` can be deleted
+                    // type-soundly (`.iter()` would change the element type).
+                    let fix = (name == "into_iter").then(|| Fix {
+                        span: Span {
+                            lo: inner.span.hi,
+                            hi: e.span.hi,
+                        },
+                        replacement: String::new(),
+                    });
+                    let method: &'static str = match name {
+                        "into_iter" => "into_iter",
+                        "iter" => "iter",
+                        _ => "iter_mut",
+                    };
+                    let site = CollectIter {
+                        line: e.line,
+                        span: e.span,
+                        method,
+                        in_loop: !self.loop_stack.is_empty(),
+                        fix,
+                    };
+                    if let Some(f) = self.fact() {
+                        f.collect_iters.push(site);
+                    }
+                }
+            }
+        }
+
         // P4: pushing a bare-time key (or a `(time, payload)` pair with no
         // integer tiebreak) into a BinaryHeap — equal timestamps then pop
         // in arbitrary order.
@@ -518,6 +677,27 @@ impl<'a> Checker<'a> {
             return;
         }
         let owner = (segs.len() >= 2).then(|| segs[segs.len() - 2].clone());
+        match (owner.as_deref(), last.as_str()) {
+            (Some("Box"), "new") => {
+                self.note_alloc(AllocKind::BoxNew, "`Box::new` heap allocation".into(), e)
+            }
+            (Some("Vec" | "VecDeque"), "new") => self.note_alloc(
+                AllocKind::VecGrowth,
+                format!("`{}::new` unreserved buffer", segs[segs.len() - 2]),
+                e,
+            ),
+            (Some("String"), "new" | "from") => self.note_alloc(
+                AllocKind::StringAlloc,
+                format!("`String::{last}` allocation"),
+                e,
+            ),
+            (_, "with_capacity") => {
+                if let Some(f) = self.fact() {
+                    f.reserves = true;
+                }
+            }
+            _ => {}
+        }
         let is_rng_new = owner.as_deref() == Some("DetRng") && last == "new";
         let call = CallRef {
             owner,
@@ -688,6 +868,32 @@ impl<'a> Checker<'a> {
             match stmt {
                 Stmt::Let { pat, ty, init } => {
                     let ity = init.as_ref().map(|e| self.expr_ty(e));
+                    // Track `let xs = Vec::new()` so a later `.push` in a
+                    // loop can target this decl with a `with_capacity` fix.
+                    if let (Some(init), Some(binding)) = (init.as_ref(), pat.as_binding()) {
+                        if let ExprKind::Call { callee, .. } = &init.kind {
+                            if let ExprKind::Path(segs) = &callee.kind {
+                                if segs.len() >= 2
+                                    && segs[segs.len() - 2] == "Vec"
+                                    && segs[segs.len() - 1] == "new"
+                                {
+                                    let binding = binding.to_string();
+                                    if let Some(&fn_idx) = self.fn_stack.last() {
+                                        if let Some(site_idx) = self
+                                            .facts
+                                            .fns
+                                            .get(fn_idx)
+                                            .map(|f| f.alloc_sites.len())
+                                            .filter(|n| *n > 0)
+                                            .map(|n| n - 1)
+                                        {
+                                            self.vec_decls.push((binding, fn_idx, site_idx));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
                     if let Some(ann) = ty {
                         self.check_let_annotation(pat, ann, init.as_ref());
                     }
@@ -860,10 +1066,51 @@ impl<'a> Checker<'a> {
                         self.note_unstable_iter(c, Some(h), h);
                     }
                 }
+                // A3 on the loop head itself: `for x in xs.collect()` (any
+                // IntoIterator works) — the materialized Vec is pure waste,
+                // so deleting the `.collect::<..>()` suffix is type-sound.
+                if let Some(h) = head.as_deref() {
+                    if let ExprKind::MethodCall {
+                        recv: inner,
+                        name: hn,
+                        ..
+                    } = &h.kind
+                    {
+                        if hn == "collect" {
+                            let site = CollectIter {
+                                line: h.line,
+                                span: h.span,
+                                method: "for-loop head",
+                                in_loop: !self.loop_stack.is_empty(),
+                                fix: Some(Fix {
+                                    span: Span {
+                                        lo: inner.span.hi,
+                                        hi: h.span.hi,
+                                    },
+                                    replacement: String::new(),
+                                }),
+                            };
+                            if let Some(f) = self.fact() {
+                                f.collect_iters.push(site);
+                            }
+                        }
+                    }
+                }
                 let (iters_after, calls_after) = self.fact_marks();
                 self.loop_stack.push(LoopFrame {
                     head_unstable: iters_after > iters_before,
                     head_calls: (calls_before..calls_after).collect(),
+                    head_binding: head.as_deref().and_then(|h| {
+                        let b = match &h.kind {
+                            ExprKind::MethodCall { recv, name, .. }
+                                if ITER_METHODS.contains(&name.as_str()) =>
+                            {
+                                Self::binding_of(recv)
+                            }
+                            _ => Self::binding_of(h),
+                        };
+                        b.map(|s| s.to_string())
+                    }),
                 });
                 self.env.push();
                 if let (Some(p), Some(h)) = (pat, &ht) {
@@ -905,7 +1152,20 @@ impl<'a> Checker<'a> {
                     None => Ty::Unknown,
                 }
             }
-            ExprKind::MacroCall { args, .. } => {
+            ExprKind::MacroCall { name, args } => {
+                match name.as_str() {
+                    "vec" => self.note_alloc(
+                        AllocKind::VecGrowth,
+                        "`vec![..]` heap allocation".into(),
+                        e,
+                    ),
+                    "format" => self.note_alloc(
+                        AllocKind::StringAlloc,
+                        "`format!` string allocation".into(),
+                        e,
+                    ),
+                    _ => {}
+                }
                 for a in args {
                     self.expr_ty(a);
                 }

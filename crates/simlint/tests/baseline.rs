@@ -1,0 +1,85 @@
+//! The `--baseline` ratchet: render/parse round-trips, tolerated vs new
+//! findings split cleanly, swept entries go stale, and malformed files
+//! are hard errors (a silently dropped entry would un-suppress a
+//! finding with no explanation).
+
+use simlint::{analyze_files, Baseline, Rule};
+
+/// A two-file workspace with one hot-path allocation finding.
+fn hot_findings() -> Vec<simlint::Finding> {
+    let files = vec![(
+        "crates/netsim/src/port.rs".to_string(),
+        "pub struct Port;\n\
+         impl Port {\n\
+             pub fn enqueue(&mut self) { let _b = Box::new(1u64); }\n\
+         }\n"
+        .to_string(),
+    )];
+    let analysis = analyze_files(&files);
+    assert!(analysis.parse_failures.is_empty());
+    analysis
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == Rule::A1)
+        .collect()
+}
+
+#[test]
+fn render_parse_round_trip_tolerates_exactly_the_rendered_findings() {
+    let findings = hot_findings();
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let text = Baseline::render(&findings);
+    assert!(text.starts_with("# simlint baseline v1\n"), "{text}");
+    let baseline = Baseline::parse(&text).expect("rendered baseline parses");
+    assert_eq!(baseline.len(), findings.len());
+    let (new, tolerated) = baseline.split(&findings);
+    assert!(new.is_empty(), "round-tripped findings are all tolerated");
+    assert_eq!(tolerated.len(), findings.len());
+    assert!(baseline.stale(&findings).is_empty());
+}
+
+#[test]
+fn a_new_finding_is_not_masked_by_an_unrelated_entry() {
+    let findings = hot_findings();
+    let baseline =
+        Baseline::parse("# simlint baseline v1\nA1\tcrates/netsim/src/other.rs\t9\tnote\n")
+            .expect("parses");
+    let (new, tolerated) = baseline.split(&findings);
+    assert_eq!(new.len(), findings.len(), "different site stays a failure");
+    assert!(tolerated.is_empty());
+}
+
+#[test]
+fn swept_entries_report_stale_so_the_ratchet_shrinks() {
+    let findings = hot_findings();
+    let mut text = Baseline::render(&findings);
+    text.push_str("A1\tcrates/netsim/src/gone.rs\t3\tswept away\n");
+    let baseline = Baseline::parse(&text).expect("parses");
+    let stale = baseline.stale(&findings);
+    assert_eq!(
+        stale,
+        vec![(
+            "A1".to_string(),
+            "crates/netsim/src/gone.rs".to_string(),
+            3usize
+        )]
+    );
+}
+
+#[test]
+fn malformed_and_unknown_rule_lines_are_hard_errors() {
+    assert!(
+        Baseline::parse("A1 crates/x.rs 3\n").is_err(),
+        "spaces, not tabs"
+    );
+    assert!(
+        Baseline::parse("Z9\tcrates/x.rs\t3\tnote\n").is_err(),
+        "unknown rule"
+    );
+    assert!(
+        Baseline::parse("A1\tcrates/x.rs\tthree\tnote\n").is_err(),
+        "bad line no"
+    );
+    let ok = Baseline::parse("# comment\n\nA1\tcrates/x.rs\t3\n").expect("note optional");
+    assert_eq!(ok.len(), 1);
+}

@@ -307,6 +307,113 @@ fn p5_fixture_fires_locally_and_through_the_call_chain() {
 }
 
 #[test]
+fn a1_fixture_fires_on_every_hot_allocation_with_witness_chains() {
+    let got = v2_findings("bad_a1_hot_alloc.rs");
+    let a1: Vec<_> = got.iter().filter(|f| f.rule == Rule::A1).collect();
+    let lines: Vec<usize> = a1.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![11, 12, 16, 18], "{got:?}");
+    // Every finding names the chain from the per-event root.
+    assert!(a1
+        .iter()
+        .all(|f| f.message.contains("hot chain: step") && f.message.contains("bad_a1")));
+    // Loop escalation on the push; reserve fix on the declaration.
+    assert!(
+        a1[3].message.contains("every iteration"),
+        "{}",
+        a1[3].message
+    );
+    let fix = a1[2]
+        .fix
+        .as_ref()
+        .expect("Vec::new decl gets the reserve fix");
+    assert_eq!(fix.replacement, "Vec::with_capacity(xs.len())");
+    assert!(a1[3].fix.is_none(), "push site carries no fix of its own");
+}
+
+#[test]
+fn a2_fixture_fires_on_the_boxed_variant() {
+    let got = v2_findings("bad_a2_boxed_event.rs");
+    let a2: Vec<_> = got.iter().filter(|f| f.rule == Rule::A2).collect();
+    assert_eq!(a2.len(), 1, "{got:?}");
+    assert_eq!(a2[0].line, 10, "attributed to the enum declaration");
+    assert!(
+        a2[0].message.contains("Event::Arrive") && a2[0].message.contains("12 bytes"),
+        "{}",
+        a2[0].message
+    );
+}
+
+#[test]
+fn a3_fixture_fires_on_chain_and_for_head_with_fusion_fixes() {
+    let got = v2_findings("bad_a3_collect_reiter.rs");
+    let a3: Vec<_> = got.iter().filter(|f| f.rule == Rule::A3).collect();
+    let lines: Vec<usize> = a3.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![7, 14], "{got:?}");
+    // Both sites fuse by deleting the materialization.
+    for f in &a3 {
+        let fix = f.fix.as_ref().expect("A3 fusion fix present");
+        assert!(fix.replacement.is_empty(), "fusion deletes, never rewrites");
+    }
+}
+
+#[test]
+fn a4_fixture_fires_on_both_hot_call_edges() {
+    let got = v2_findings("bad_a4_byval_hot.rs");
+    let a4: Vec<_> = got.iter().filter(|f| f.rule == Rule::A4).collect();
+    let lines: Vec<usize> = a4.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![17, 21], "{got:?}");
+    assert!(
+        a4.iter().all(|f| f.message.contains("~80 bytes")),
+        "{got:?}"
+    );
+    assert!(
+        a4[1].message.contains("step") && a4[1].message.contains("sink"),
+        "callee chain runs from the root: {}",
+        a4[1].message
+    );
+}
+
+#[test]
+fn a_rule_autofixes_converge_and_are_idempotent() {
+    let mut files = vec![
+        fixture("dcsim/units.rs"),
+        fixture("bad_a1_hot_alloc.rs"),
+        fixture("bad_a3_collect_reiter.rs"),
+    ];
+    let applied = fix_source_set(&mut files);
+    assert!(applied >= 3, "A1 reserve + two A3 fusions: {applied}");
+    let a1_src = &files[1].1;
+    assert!(
+        a1_src.contains("let mut out = Vec::with_capacity(xs.len());"),
+        "reserve inserted at the declaration: {a1_src}"
+    );
+    let a3_src = &files[2].1;
+    assert!(
+        !a3_src.contains(".collect::<"),
+        "both materializations deleted: {a3_src}"
+    );
+    assert!(
+        a3_src.contains("for x in xs.iter().map(|v| v + 1) {"),
+        "for-head now iterates the fused chain: {a3_src}"
+    );
+
+    let after = analyze_files(&files);
+    assert!(
+        after.findings.iter().all(|f| f.fix.is_none()),
+        "fixable findings survived --fix: {:?}",
+        after.findings
+    );
+
+    let snapshot = files.clone();
+    assert_eq!(
+        fix_source_set(&mut files),
+        0,
+        "second --fix pass must change nothing"
+    );
+    assert_eq!(files, snapshot);
+}
+
+#[test]
 fn p_rule_autofixes_converge_and_are_idempotent() {
     let mut files = vec![
         fixture("dcsim/units.rs"),
@@ -348,12 +455,16 @@ fn scanning_the_fixture_tree_reports_every_bad_file() {
     // nonzero exit path) must reproduce all of the above findings.
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
     let (findings, scanned) = scan_tree(&root).expect("fixtures dir scans");
-    assert_eq!(scanned, 22, "all fixture files scanned");
+    assert_eq!(scanned, 26, "all fixture files scanned");
     let bad_files: std::collections::BTreeSet<&str> =
         findings.iter().map(|f| f.path.as_str()).collect();
     assert_eq!(
         bad_files.into_iter().collect::<Vec<_>>(),
         vec![
+            "bad_a1_hot_alloc.rs",
+            "bad_a2_boxed_event.rs",
+            "bad_a3_collect_reiter.rs",
+            "bad_a4_byval_hot.rs",
             "bad_d1_hashmap.rs",
             "bad_d2_wallclock.rs",
             "bad_d3_randomness.rs",

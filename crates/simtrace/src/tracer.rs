@@ -73,6 +73,11 @@ impl Tracer {
     #[inline]
     pub fn record(&mut self, t: Nanos, ev: TraceEvent) {
         if self.wants(ev.subsystem()) {
+            if self.events.len() == self.events.capacity() {
+                // Traced runs buffer every event until the end of the run;
+                // grow in large steps so recording stays cheap.
+                self.events.reserve(4096);
+            }
             self.events.push((t, ev));
         }
     }

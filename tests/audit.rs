@@ -46,22 +46,68 @@ fn corrupted_port_ledger_trips_byte_conservation() {
     let mut pool = PacketPool::new();
     let mut rng = DetRng::new(7);
     let mut port = test_port();
-    let mut pkt = pool.get();
+    let h = pool.alloc();
+    let pkt = pool.get_mut(h);
     pkt.kind = PacketKind::Data;
     pkt.wire_size = 1000;
-    port.enqueue(pkt, &mut rng).expect("no buffer limit set");
+    port.enqueue(h, &mut pool, &mut rng)
+        .expect("no buffer limit set");
 
     // Inflate the resident-byte ledger behind the counters' back: the
     // next enqueue's conservation check must catch the mismatch.
     port.audit_corrupt_qbytes(999);
     let msg = audit_panic_message(|| {
-        let mut pkt = pool.get();
+        let h = pool.alloc();
+        let pkt = pool.get_mut(h);
         pkt.kind = PacketKind::Data;
         pkt.wire_size = 500;
-        let _ = port.enqueue(pkt, &mut rng);
+        let _ = port.enqueue(h, &mut pool, &mut rng);
     });
     assert!(msg.contains("sim-audit invariant violated"), "{msg}");
     assert!(msg.contains("port byte conservation"), "{msg}");
+}
+
+#[test]
+fn pool_double_free_trips_generation_audit() {
+    // Freeing the same handle twice is the C-style lifetime bug the
+    // generation tags exist to catch: the second free presents a stale
+    // generation and must panic instead of corrupting the free list.
+    let mut pool = PacketPool::new();
+    let h = pool.alloc();
+    pool.free(h);
+    let msg = audit_panic_message(|| pool.free(h));
+    assert!(msg.contains("sim-audit invariant violated"), "{msg}");
+    assert!(msg.contains("double free or stale handle"), "{msg}");
+}
+
+#[test]
+fn pool_stale_handle_read_trips_generation_audit() {
+    // A handle kept across a free/realloc of its slot would silently read
+    // the *new* occupant's packet without the generation check.
+    let mut pool = PacketPool::new();
+    let stale = pool.alloc();
+    pool.free(stale);
+    let fresh = pool.alloc(); // recycles the same slot, bumped generation
+    let msg = audit_panic_message(|| {
+        let _ = pool.get(stale);
+    });
+    assert!(msg.contains("sim-audit invariant violated"), "{msg}");
+    assert!(msg.contains("stale packet handle read"), "{msg}");
+    // The live handle still works after the aborted stale access.
+    assert_eq!(pool.get(fresh).wire_size, 0);
+}
+
+#[test]
+fn pool_stale_handle_write_trips_generation_audit() {
+    let mut pool = PacketPool::new();
+    let stale = pool.alloc();
+    pool.free(stale);
+    let _fresh = pool.alloc();
+    let msg = audit_panic_message(|| {
+        pool.get_mut(stale).wire_size = 1;
+    });
+    assert!(msg.contains("sim-audit invariant violated"), "{msg}");
+    assert!(msg.contains("stale packet handle write"), "{msg}");
 }
 
 #[test]

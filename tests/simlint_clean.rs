@@ -1,14 +1,25 @@
 //! Tier-1 gate: the workspace must stay clean under its own static
-//! analysis pass — the v1 line rules (D1–D5) and the v2 semantic rules
-//! (U1–U3, O1, E1, S1) — and every file must be parseable by the v2
-//! parser. Equivalent to `cargo run -p simlint` exiting 0, but enforced
-//! by `cargo test` so a violating change cannot land even when the CI
-//! lint job is skipped.
+//! analysis pass — the v1 line rules (D1–D6), the v2 semantic rules
+//! (U1–U3, O1, E1, P1–P5, S1), and the v4 cost rules (A1–A4) — and
+//! every file must be parseable by the v2 parser. Equivalent to
+//! `cargo run -p simlint -- --baseline simlint.baseline` exiting 0, but
+//! enforced by `cargo test` so a violating change cannot land even when
+//! the CI lint job is skipped.
+//!
+//! Findings listed in `simlint.baseline` are tolerated; the baseline is
+//! a ratchet, so an entry whose finding has been swept away fails the
+//! gate until the entry is removed.
 
 use std::path::Path;
 
+fn workspace_baseline(root: &Path) -> simlint::Baseline {
+    let text = std::fs::read_to_string(root.join("simlint.baseline"))
+        .expect("simlint.baseline exists at the workspace root");
+    simlint::Baseline::parse(&text).expect("simlint.baseline parses")
+}
+
 #[test]
-fn workspace_has_no_simlint_findings() {
+fn workspace_has_no_unbaselined_simlint_findings() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let analysis = simlint::analyze_tree(root).expect("workspace tree scans");
     assert!(
@@ -27,14 +38,34 @@ fn workspace_has_no_simlint_findings() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+    let baseline = workspace_baseline(root);
+    let (new, _tolerated) = baseline.split(&analysis.findings);
     assert!(
-        analysis.findings.is_empty(),
-        "simlint found {} violation(s):\n{}",
-        analysis.findings.len(),
-        analysis
-            .findings
-            .iter()
+        new.is_empty(),
+        "simlint found {} unbaselined violation(s):\n{}",
+        new.len(),
+        new.iter()
             .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_baseline_has_no_stale_entries() {
+    // The ratchet only shrinks: a baseline entry whose finding was fixed
+    // must be deleted, or it could silently mask a future regression at
+    // the same site.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let analysis = simlint::analyze_tree(root).expect("workspace tree scans");
+    let baseline = workspace_baseline(root);
+    let stale = baseline.stale(&analysis.findings);
+    assert!(
+        stale.is_empty(),
+        "baseline entries no longer matched by any finding (delete them):\n{}",
+        stale
+            .iter()
+            .map(|(rule, path, line)| format!("{rule}\t{path}\t{line}"))
             .collect::<Vec<_>>()
             .join("\n")
     );
@@ -43,7 +74,8 @@ fn workspace_has_no_simlint_findings() {
 #[test]
 fn workspace_autofix_is_a_no_op() {
     // A clean tree must stay byte-identical under `--fix`; CI asserts
-    // the same with `git diff --exit-code`.
+    // the same with `git diff --exit-code`. Baselined findings carry no
+    // mechanical fix, so the baseline does not exempt anything here.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut files = simlint::read_tree(root).expect("workspace tree reads");
     let applied = simlint::fix_source_set(&mut files);
